@@ -1,0 +1,86 @@
+// Colorbench runs the full experiment suite of DESIGN.md (E01-E19),
+// regenerating every theorem-level claim of the paper with measured
+// values next to the predicted bounds. The output is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	colorbench [-n vertices] [-seed s] [-exp E07]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", experiments.DefaultSizes.N, "vertex count per workload")
+	seed := flag.Int64("seed", experiments.DefaultSizes.Seed, "base RNG seed")
+	exp := flag.String("exp", "", "run a single experiment (e.g. E07)")
+	flag.Parse()
+
+	sizes := experiments.Sizes{N: *n, Seed: *seed}
+	fns := map[string]func(experiments.Sizes) ([]experiments.Row, error){
+		"E01": experiments.E01HPartition,
+		"E02": experiments.E02Forests,
+		"E03": experiments.E03BE08,
+		"E04": experiments.E04Linial,
+		"E05": experiments.E05Defective,
+		"E06": experiments.E06CompleteOrientation,
+		"E07": experiments.E07PartialOrientation,
+		"E08": experiments.E08SimpleArbdefective,
+		"E09": experiments.E09ArbdefectiveColoring,
+		"E10": experiments.E10OneShot,
+		"E11": experiments.E11LegalColoring,
+		"E12": experiments.E12Tradeoff,
+		"E13": experiments.E13DeltaPlusOne,
+		"E14": experiments.E14ArbKuhn,
+		"E15": experiments.E15FastColoring,
+		"E16": experiments.E16ColorAT,
+		"E17": experiments.E17MIS,
+		"E18": experiments.E18StateOfTheArt,
+		"E19": experiments.E19OrientationColoring,
+		"E20": experiments.E20AblationOrientation,
+		"E21": experiments.E21LinialReduction,
+		"E22": experiments.E22IDRobustness,
+	}
+
+	var rows []experiments.Row
+	var err error
+	if *exp != "" {
+		fn, ok := fns[strings.ToUpper(*exp)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		rows, err = fn(sizes)
+	} else {
+		rows, err = experiments.All(sizes)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reproduction suite: n=%d seed=%d\n\n", sizes.N, sizes.Seed)
+	fmt.Print(experiments.Table(rows))
+	bad := 0
+	for _, r := range rows {
+		if !r.OK {
+			bad++
+		}
+	}
+	fmt.Printf("\n%d rows, %d bound violations\n", len(rows), bad)
+	if bad > 0 {
+		return fmt.Errorf("%d experiments violated their bound", bad)
+	}
+	return nil
+}

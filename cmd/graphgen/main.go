@@ -1,0 +1,76 @@
+// Graphgen writes benchmark graphs in the edge-list format consumed by
+// colorcli.
+//
+// Usage:
+//
+//	graphgen -family forest|gnp|star-forest|powerlaw|regular|unitdisk|tree|grid
+//	         [-n vertices] [-k param] [-p prob] [-seed s] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/distcolor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "forest", "graph family")
+	n := flag.Int("n", 1000, "vertex count")
+	k := flag.Int("k", 4, "family parameter (forests, attachment degree, hub degree, ...)")
+	p := flag.Float64("p", 0.01, "edge probability (gnp) or radius (unitdisk)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *distcolor.Graph
+	var err error
+	switch *family {
+	case "forest":
+		g = distcolor.GenForestUnion(*n, *k, *seed)
+	case "gnp":
+		g = distcolor.GenGnp(*n, *p, *seed)
+	case "star-forest":
+		g = distcolor.GenStarForest(*n, 2, 4, *k, *seed)
+	case "powerlaw":
+		g = distcolor.GenPowerLaw(*n, *k, *seed)
+	case "regular":
+		g = distcolor.GenRegular(*n, *k, *seed)
+	case "unitdisk":
+		g = distcolor.GenUnitDisk(*n, 30, *p, *seed)
+	case "tree":
+		g = distcolor.GenTree(*n, *seed)
+	case "grid":
+		g = distcolor.GenGrid(*k, *n / *k)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteEdgeList(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: n=%d m=%d Delta=%d degeneracy=%d\n",
+		*family, g.N(), g.M(), g.MaxDegree(), g.ArboricityUpperBound())
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package distcolor is the public API of the reproduction of
+// Barenboim & Elkin, "Deterministic Distributed Vertex Coloring in
+// Polylogarithmic Time" (PODC 2010).
+//
+// It colors graphs of bounded arboricity a with O(a) .. O(a^(1+eta)) colors
+// in polylogarithmic simulated LOCAL-model time, answering Linial's open
+// question of breaking the Delta^2 color barrier deterministically. All
+// algorithms run on a synchronous message-passing simulator; reported
+// "rounds" are LOCAL communication rounds, the paper's complexity measure.
+//
+// Entry points:
+//
+//   - ColorOA:       Theorem 4.3  - O(a) colors, O(a^mu log n) rounds.
+//   - ColorTradeoff: Theorem 4.5 / Corollary 4.6 - explicit parameter p.
+//   - ColorFast:     Theorem 5.2  - O(a^2/g) colors, O(log g log n) rounds.
+//   - ColorAT:       Theorem 5.3  - O(a*t) colors, O((a/t)^mu log n) rounds.
+//   - OneShot:       Lemma 4.1    - O(a) colors, O(a^(2/3) log n) rounds.
+//   - MIS:           Section 1.2  - maximal independent set in
+//     O(a + a^mu log n) rounds.
+//   - ArbDefective:  Corollary 3.6 - the paper's new arbdefective coloring.
+//   - PartialOrient: Theorem 3.5  - partial acyclic orientations.
+//   - HPartition, Forests: the PODC'08 decompositions (Lemmas 2.2-2.4).
+//   - Linial, Defective, DeltaPlusOne, BE08, LubyMIS, RandomizedColoring,
+//     ColeVishkinForest: baselines from the paper's related work.
+//
+// Graphs are built with NewBuilder/FromEdges or the generators in this
+// package; every algorithm takes a *Graph plus an Options struct
+// controlling identifier assignment and decomposition slack.
+package distcolor

@@ -1,0 +1,96 @@
+package distcolor
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Graph is a finite simple undirected graph (see internal/graph for the
+// full method set: Neighbors, Degree, MaxDegree, Degeneracy, coloring and
+// MIS verifiers, edge-list I/O, ...).
+type Graph = graph.Graph
+
+// Orientation is a (partial) edge orientation with the paper's parameters:
+// out-degree, deficit and length (Section 2.1).
+type Orientation = graph.Orientation
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses the "n m" + "u v" edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// LogStar returns log* n.
+func LogStar(n int) int { return graph.LogStar(n) }
+
+// NumColors returns the number of distinct colors in a coloring.
+func NumColors(colors []int) int { return graph.NumColors(colors) }
+
+// MaxColor returns the largest color value used.
+func MaxColor(colors []int) int { return graph.MaxColor(colors) }
+
+// Deterministic graph generators for the paper's workload families.
+// All take an explicit seed for reproducibility.
+
+// GenPath returns the path on n vertices.
+func GenPath(n int) *Graph { return graph.Path(n) }
+
+// GenCycle returns the cycle on n >= 3 vertices.
+func GenCycle(n int) (*Graph, error) { return graph.Cycle(n) }
+
+// GenStar returns the star K_{1,n-1}.
+func GenStar(n int) *Graph { return graph.Star(n) }
+
+// GenComplete returns K_n.
+func GenComplete(n int) *Graph { return graph.Complete(n) }
+
+// GenGrid returns the rows x cols grid (arboricity <= 2).
+func GenGrid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// GenTree returns a random recursive tree.
+func GenTree(n int, seed int64) *Graph {
+	return graph.RandomTree(n, rand.New(rand.NewSource(seed)))
+}
+
+// GenGnp returns an Erdos-Renyi G(n, p) graph.
+func GenGnp(n int, p float64, seed int64) *Graph {
+	return graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+}
+
+// GenForestUnion returns a union of k random forests: arboricity <= k by
+// construction. The canonical bounded-arboricity workload.
+func GenForestUnion(n, k int, seed int64) *Graph {
+	return graph.ForestUnion(n, k, rand.New(rand.NewSource(seed)))
+}
+
+// GenStarForest returns a small-arboricity graph with huge maximum degree
+// (the a << Delta regime of Corollary 4.7): arb forests plus `hubs` star
+// centers of degree hubDegree.
+func GenStarForest(n, arb, hubs, hubDegree int, seed int64) *Graph {
+	return graph.StarForest(n, arb, hubs, hubDegree, rand.New(rand.NewSource(seed)))
+}
+
+// GenPowerLaw returns a preferential-attachment graph with degeneracy <= k
+// and a heavy degree tail (social-network workload).
+func GenPowerLaw(n, k int, seed int64) *Graph {
+	return graph.PowerLawish(n, k, rand.New(rand.NewSource(seed)))
+}
+
+// GenRegular returns a near-d-regular graph.
+func GenRegular(n, d int, seed int64) *Graph {
+	return graph.RandomRegularish(n, d, rand.New(rand.NewSource(seed)))
+}
+
+// GenUnitDisk returns a random geometric graph on a side x side square
+// with the given connection radius (wireless-network workload).
+func GenUnitDisk(n int, side, radius float64, seed int64) *Graph {
+	return graph.UnitDiskish(n, side, radius, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,80 @@
+// Sensornet: TDMA slot assignment for a wireless sensor network - the
+// motivating application of the paper's Section 1.1 (Herman & Tixeuil
+// [14]). Sensors within radio range share a channel; a legal vertex
+// coloring of the conflict graph is a collision-free schedule, and the
+// number of colors is the TDMA frame length. Geometric (unit-disk)
+// conflict graphs have bounded density, hence bounded arboricity, so the
+// paper's algorithms give short frames fast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/distcolor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		sensors = 800
+		side    = 30.0
+		radius  = 1.6
+		seed    = 11
+	)
+	g := distcolor.GenUnitDisk(sensors, side, radius, seed)
+	fmt.Printf("sensor field: %d sensors, %d conflicting pairs, max conflicts per sensor %d\n",
+		g.N(), g.M(), g.MaxDegree())
+
+	// Radio networks have no global knowledge of arboricity; estimate it
+	// with the doubling H-partition search (O(log a log n) rounds).
+	a, err := distcolor.EstimateArboricity(g, distcolor.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated arboricity bound: %d (degeneracy %d)\n", a, g.ArboricityUpperBound())
+
+	// Frame length vs schedule-computation-time tradeoff (Theorem 4.5 /
+	// Corollary 4.6 via the p knob).
+	fmt.Println("\nTDMA schedules (frame length = #colors):")
+	fmt.Printf("%-28s %8s %8s\n", "algorithm", "frame", "rounds")
+	for _, p := range []int{4, 8, 16} {
+		res, err := distcolor.ColorTradeoff(g, a, p, distcolor.Options{Seed: seed, PermuteIDs: true})
+		if err != nil {
+			return err
+		}
+		if err := distcolor.VerifyLegal(g, res.Colors); err != nil {
+			return fmt.Errorf("schedule with p=%d collides: %w", p, err)
+		}
+		fmt.Printf("legal-coloring(p=%d)%9s %8d %8d\n", p, "", res.NumColors, res.Rounds)
+	}
+
+	// Baselines: Linial (frame ~Delta^2) and the randomized Delta+1.
+	lin, err := distcolor.Linial(g, distcolor.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8d %8d\n", "linial (Delta^2)", lin.NumColors, lin.Rounds)
+	rnd, err := distcolor.RandomizedColoring(g, distcolor.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8d %8d   (randomized)\n", "rand Delta+1", rnd.NumColors, rnd.Rounds)
+
+	// A slot-0 backbone: an MIS gives a dominating set of cluster heads.
+	mis, err := distcolor.MIS(g, a, 0.5, distcolor.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := distcolor.VerifyMIS(g, mis.InMIS); err != nil {
+		return err
+	}
+	fmt.Printf("\ncluster heads (MIS): %d of %d sensors, computed in %d rounds\n",
+		mis.Size, g.N(), mis.Rounds)
+	return nil
+}

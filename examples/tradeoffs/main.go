@@ -1,0 +1,91 @@
+// Tradeoffs: sweep the paper's color/time knobs on one workload and print
+// the resulting curves - the plot a reader of Sections 4 and 5 would draw.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/distcolor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n    = 1500
+		a    = 16
+		seed = 31
+	)
+	g := distcolor.GenForestUnion(n, a, seed)
+	opts := distcolor.Options{Seed: seed, PermuteIDs: true}
+	fmt.Printf("workload: forest union, n=%d m=%d a<=%d Delta=%d\n\n", g.N(), g.M(), a, g.MaxDegree())
+
+	fmt.Println("Theorem 4.5 / Corollary 4.6 - Legal-Coloring(p): colors vs rounds")
+	fmt.Printf("%6s %8s %8s %6s\n", "p", "colors", "rounds", "iters")
+	for _, p := range []int{4, 6, 8, 12, 16} {
+		res, err := distcolor.ColorTradeoff(g, a, p, opts)
+		if err != nil {
+			return err
+		}
+		if err := distcolor.VerifyLegal(g, res.Colors); err != nil {
+			return err
+		}
+		iters := 0
+		for _, ph := range res.Phases {
+			if ph.Name == "simple-arbdefective" {
+				iters++
+			}
+		}
+		fmt.Printf("%6d %8d %8d %6d\n", p, res.NumColors, res.Rounds, iters)
+	}
+
+	fmt.Println("\nTheorem 5.3 - ColorAT(t): O(a*t) colors, O((a/t)^mu log n) rounds")
+	fmt.Printf("%6s %8s %8s\n", "t", "colors", "rounds")
+	for _, t := range []int{1, 2, 4, 8} {
+		res, err := distcolor.ColorAT(g, a, t, 0.5, opts)
+		if err != nil {
+			return err
+		}
+		if err := distcolor.VerifyLegal(g, res.Colors); err != nil {
+			return err
+		}
+		fmt.Printf("%6d %8d %8d\n", t, res.NumColors, res.Rounds)
+	}
+
+	fmt.Println("\nTheorem 5.2 - ColorFast(g): O(a^2/g) colors, O(log g log n) rounds")
+	fmt.Printf("%6s %8s %8s\n", "g", "colors", "rounds")
+	for _, gb := range []int{2, 4, 8, 16} {
+		res, err := distcolor.ColorFast(g, a, gb, opts)
+		if err != nil {
+			return err
+		}
+		if err := distcolor.VerifyLegal(g, res.Colors); err != nil {
+			return err
+		}
+		fmt.Printf("%6d %8d %8d\n", gb, res.NumColors, res.Rounds)
+	}
+
+	fmt.Println("\nbaselines")
+	fmt.Printf("%-18s %8s %8s\n", "algorithm", "colors", "rounds")
+	lin, err := distcolor.Linial(g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %8d %8d\n", "linial", lin.NumColors, lin.Rounds)
+	be, err := distcolor.BE08(g, a, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %8d %8d\n", "be08", be.NumColors, be.Rounds)
+	rnd, err := distcolor.RandomizedColoring(g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %8d %8d (randomized)\n", "rand-delta+1", rnd.NumColors, rnd.Rounds)
+	return nil
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/forest"
+	"repro/internal/graph"
+)
+
+func TestLubyMISCorrectAndFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(800))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Gnp(300, 0.03, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := LubyMIS(net, int64(trial)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckMIS(res.InMIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// O(log n) w.h.p.; generous constant.
+		if lim := 20 * int(math.Log2(float64(g.N()))); res.Rounds > lim {
+			t.Errorf("trial %d: %d rounds > %d", trial, res.Rounds, lim)
+		}
+	}
+}
+
+func TestLubyMISEdgeCases(t *testing.T) {
+	// Singleton, empty graph, complete graph.
+	for name, g := range map[string]*graph.Graph{
+		"single":   graph.NewBuilder(1).Build(),
+		"empty":    graph.NewBuilder(5).Build(),
+		"complete": graph.Complete(7),
+		"star":     graph.Star(20),
+	} {
+		net := dist.NewNetwork(g)
+		res, err := LubyMIS(net, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.CheckMIS(res.InMIS); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLubyDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	g := graph.Gnp(100, 0.05, rng)
+	net := dist.NewNetwork(g)
+	a, err := LubyMIS(net, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LubyMIS(net, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+}
+
+func TestRandomizedColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Gnp(250, 0.04, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := RandomizedColoring(net, int64(trial)+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > g.MaxDegree() {
+			t.Errorf("trial %d: color %d > Delta", trial, mc)
+		}
+		if lim := 24 * int(math.Log2(float64(g.N()))); res.Rounds > lim {
+			t.Errorf("trial %d: %d rounds > %d", trial, res.Rounds, lim)
+		}
+	}
+}
+
+// randomRootedTree returns a random tree plus its parentOf array.
+func randomRootedTree(n int, rng *rand.Rand) (*graph.Graph, []int) {
+	parentOf := make([]int, n)
+	parentOf[0] = -1
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		p := rng.Intn(v)
+		parentOf[v] = p
+		_ = b.AddEdge(v, p)
+	}
+	return b.Build(), parentOf
+}
+
+func TestColeVishkinForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	for _, n := range []int{1, 2, 6, 7, 50, 500, 5000} {
+		g, parentOf := randomRootedTree(n, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := ColeVishkinForest(net, parentOf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > 2 {
+			t.Errorf("n=%d: max color %d > 2", n, mc)
+		}
+		if lim := graph.LogStar(n) + 12; res.Rounds > lim {
+			t.Errorf("n=%d: %d rounds > log* + 12 = %d", n, res.Rounds, lim)
+		}
+	}
+}
+
+func TestColeVishkinPath(t *testing.T) {
+	// A path rooted at one end: the paper's canonical oriented-ring-like
+	// case.
+	n := 1000
+	g := graph.Path(n)
+	parentOf := make([]int, n)
+	parentOf[0] = -1
+	for v := 1; v < n; v++ {
+		parentOf[v] = v - 1
+	}
+	net := dist.NewNetwork(g)
+	res, err := ColeVishkinForest(net, parentOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckLegalColoring(res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if graph.MaxColor(res.Colors) > 2 {
+		t.Error("more than 3 colors on a path")
+	}
+}
+
+func TestColeVishkinValidation(t *testing.T) {
+	g := graph.Path(3)
+	net := dist.NewNetwork(g)
+	if _, err := ColeVishkinForest(net, []int{-1, 0}); err == nil {
+		t.Error("short parentOf accepted")
+	}
+	if _, err := ColeVishkinForest(net, []int{-1, 0, 0}); err == nil {
+		t.Error("non-neighbor parent accepted")
+	}
+}
+
+func TestCVIterationsMonotone(t *testing.T) {
+	if cvIterations(5) != 0 {
+		t.Error("small n should need 0 reduction rounds")
+	}
+	prev := 0
+	for _, n := range []int{10, 100, 10000, 1 << 30} {
+		it := cvIterations(n)
+		if it < prev {
+			t.Errorf("cvIterations not monotone at %d", n)
+		}
+		prev = it
+	}
+	if it := cvIterations(1 << 30); it > graph.LogStar(1<<30)+4 {
+		t.Errorf("cvIterations(2^30) = %d too large", it)
+	}
+}
+
+func TestBE08Coloring(t *testing.T) {
+	rng := rand.New(rand.NewSource(804))
+	for _, a := range []int{2, 5} {
+		g := graph.ForestUnion(400, a, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := BE08Coloring(net, a, forest.DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("a=%d: %v", a, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc >= res.Palette {
+			t.Errorf("a=%d: color %d outside palette %d", a, mc, res.Palette)
+		}
+		if res.Palette != forest.DefaultEps.Threshold(a)+1 {
+			t.Errorf("a=%d: palette %d", a, res.Palette)
+		}
+	}
+}

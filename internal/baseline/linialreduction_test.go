@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestProductGraphShape(t *testing.T) {
+	g := graph.Path(3) // Delta = 2, k = 3
+	product, idx, k := ProductGraph(g)
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if product.N() != 9 {
+		t.Fatalf("product has %d vertices, want 9", product.N())
+	}
+	// Per-vertex cliques: 3 * C(3,2) = 9 edges; same-color edges: 2 edges * 3 colors = 6.
+	if product.M() != 9+6 {
+		t.Fatalf("product has %d edges, want 15", product.M())
+	}
+	if !product.HasEdge(idx(0, 0), idx(0, 1)) {
+		t.Error("clone clique edge missing")
+	}
+	if !product.HasEdge(idx(0, 2), idx(1, 2)) {
+		t.Error("same-color conflict edge missing")
+	}
+	if product.HasEdge(idx(0, 0), idx(1, 1)) {
+		t.Error("cross-color edge present")
+	}
+}
+
+func TestLinialReductionColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(810))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.Gnp(80, 0.05, rng)
+		res, err := LinialReductionColoring(g, int64(trial)+1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > g.MaxDegree() {
+			t.Errorf("trial %d: color %d > Delta = %d", trial, mc, g.MaxDegree())
+		}
+	}
+}
+
+func TestLinialReductionOnStructured(t *testing.T) {
+	cyc, err := graph.Cycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{
+		"cycle":    cyc,
+		"star":     graph.Star(12),
+		"complete": graph.Complete(6),
+		"single":   graph.NewBuilder(1).Build(),
+	} {
+		res, err := LinialReductionColoring(g, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > g.MaxDegree() {
+			t.Errorf("%s: color %d > Delta", name, mc)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package baseline implements the comparison algorithms of the paper's
+// Section 1 (related work): Luby's randomized MIS [22, 1], a randomized
+// (Delta+1)-coloring in the style of Johansson [15], Cole-Vishkin
+// 3-coloring of rooted forests [8], and the previous deterministic state
+// of the art for bounded arboricity, the Barenboim-Elkin PODC'08 coloring
+// (Lemma 2.2(1)) that the paper's own algorithms are measured against.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// lubyAlgo implements Luby's MIS: in each two-round iteration every alive
+// vertex draws a random value; strict local maxima (ties by identifier)
+// join the MIS and announce it; vertices hearing an announcement drop out.
+// O(log n) iterations with high probability.
+type lubyAlgo struct {
+	seed int64
+}
+
+type lubyValue struct {
+	X  int64
+	ID int
+}
+
+type lubyJoin struct{}
+
+type lubyState struct {
+	rng    *rand.Rand
+	myVal  lubyValue
+	joined bool
+}
+
+func (a lubyAlgo) Init(n *dist.Node) {
+	st := &lubyState{rng: rand.New(rand.NewSource(a.seed ^ int64(n.ID())*0x1E3779B97F4A7C15))}
+	n.State = st
+	st.myVal = lubyValue{X: st.rng.Int63(), ID: n.ID()}
+	n.SendAll(st.myVal)
+}
+
+func (a lubyAlgo) Step(n *dist.Node, inbox []dist.Message) {
+	st := n.State.(*lubyState)
+	if n.Round()%2 == 0 {
+		// Even rounds carry JOIN announcements (and nothing else).
+		for _, m := range inbox {
+			if m == nil {
+				continue
+			}
+			if _, isJoin := m.(lubyJoin); isJoin {
+				n.Output = false
+				n.Halt()
+				return
+			}
+		}
+		// Survived: draw a fresh value for the next iteration.
+		st.myVal = lubyValue{X: st.rng.Int63(), ID: n.ID()}
+		n.SendAll(st.myVal)
+		return
+	}
+	// Odd rounds carry values: check local maximality among alive
+	// neighbors (silent ports mean dead neighbors).
+	win := true
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		v, ok := m.(lubyValue)
+		if !ok {
+			continue
+		}
+		if v.X > st.myVal.X || (v.X == st.myVal.X && v.ID > st.myVal.ID) {
+			win = false
+			break
+		}
+	}
+	if win {
+		st.joined = true
+		n.Output = true
+		n.SendAll(lubyJoin{})
+		n.Halt()
+	}
+}
+
+// LubyResult reports a Luby MIS run.
+type LubyResult struct {
+	InMIS  []bool
+	Rounds int
+}
+
+// LubyMIS runs Luby's randomized MIS. The seed makes runs reproducible;
+// per-node randomness is derived from (seed, id).
+func LubyMIS(net *dist.Network, seed int64) (*LubyResult, error) {
+	res, err := net.Run(lubyAlgo{seed: seed}, dist.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	inMIS := make([]bool, net.Graph().N())
+	for v, o := range res.Outputs {
+		b, ok := o.(bool)
+		if !ok {
+			return nil, fmt.Errorf("baseline: vertex %d output %T", v, o)
+		}
+		inMIS[v] = b
+	}
+	return &LubyResult{InMIS: inMIS, Rounds: res.Rounds}, nil
+}

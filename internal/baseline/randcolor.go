@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// randColorAlgo is the randomized (Delta+1)-coloring in the style of
+// Johansson [15] / the folklore trial-based algorithm: every undecided
+// vertex proposes a uniformly random color from its remaining palette;
+// a proposal is kept when no undecided neighbor proposed the same color
+// (identifier priority breaks ties). Decided colors are announced and
+// removed from neighbors' palettes. O(log n) iterations w.h.p.
+type randColorAlgo struct {
+	seed    int64
+	palette int
+}
+
+type rcPropose struct {
+	C  int
+	ID int
+}
+
+type rcFinal struct {
+	C int
+}
+
+type rcState struct {
+	rng      *rand.Rand
+	taken    map[int]bool
+	proposal int
+}
+
+func (a randColorAlgo) Init(n *dist.Node) {
+	st := &rcState{
+		rng:   rand.New(rand.NewSource(a.seed ^ int64(n.ID())*0x5851F42D4C957F2D)),
+		taken: make(map[int]bool),
+	}
+	n.State = st
+	st.propose(a, n)
+}
+
+func (st *rcState) propose(a randColorAlgo, n *dist.Node) {
+	// Draw uniformly from the free palette.
+	free := make([]int, 0, a.palette)
+	for c := 0; c < a.palette; c++ {
+		if !st.taken[c] {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		// Impossible when palette > degree; defensive.
+		n.Output = fmt.Errorf("baseline: palette exhausted")
+		n.Halt()
+		return
+	}
+	st.proposal = free[st.rng.Intn(len(free))]
+	n.SendAll(rcPropose{C: st.proposal, ID: n.ID()})
+}
+
+func (a randColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
+	st := n.State.(*rcState)
+	if n.Round()%2 == 1 {
+		// Proposal round results: keep the color unless an undecided
+		// neighbor with priority proposed the same one.
+		keep := true
+		for _, m := range inbox {
+			if m == nil {
+				continue
+			}
+			if p, ok := m.(rcPropose); ok && p.C == st.proposal && p.ID > n.ID() {
+				keep = false
+			}
+		}
+		if keep {
+			n.Output = st.proposal
+			n.SendAll(rcFinal{C: st.proposal})
+			n.Halt()
+		}
+		return
+	}
+	// Announcement round: record finalized neighbor colors, then repropose.
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if f, ok := m.(rcFinal); ok {
+			st.taken[f.C] = true
+		}
+	}
+	st.propose(a, n)
+}
+
+// RandColorResult reports a randomized coloring run.
+type RandColorResult struct {
+	Colors []int
+	Rounds int
+}
+
+// RandomizedColoring runs the trial-based (Delta+1)-coloring.
+func RandomizedColoring(net *dist.Network, seed int64) (*RandColorResult, error) {
+	palette := net.Graph().MaxDegree() + 1
+	res, err := net.Run(randColorAlgo{seed: seed, palette: palette}, dist.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, net.Graph().N())
+	for v, o := range res.Outputs {
+		switch x := o.(type) {
+		case int:
+			colors[v] = x
+		case error:
+			return nil, fmt.Errorf("baseline: vertex %d: %w", v, x)
+		default:
+			return nil, fmt.Errorf("baseline: vertex %d output %T", v, o)
+		}
+	}
+	return &RandColorResult{Colors: colors, Rounds: res.Rounds}, nil
+}

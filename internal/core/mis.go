@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// This file implements the MIS results of Section 1.2: a legal coloring is
+// converted to a maximal independent set by processing color classes in
+// increasing order - each class is an independent set, so all its undecided
+// vertices join simultaneously. With an O(a)-coloring from Legal-Coloring
+// the total time is O(a + a^mu log n).
+
+// misAlgo processes color classes in rounds: a vertex of color c decides at
+// round c (round 0 = Init): it joins the MIS unless a neighbor announced
+// joining earlier.
+type misAlgo struct{}
+
+type misState struct {
+	blocked bool
+}
+
+func (misAlgo) Init(n *dist.Node) {
+	c, ok := n.Input.(int)
+	if !ok || c < 0 {
+		n.Output = fmt.Errorf("core: mis: bad color input %v", n.Input)
+		n.Halt()
+		return
+	}
+	n.State = &misState{}
+	if c == 0 {
+		// No neighbor shares color 0; no earlier class exists.
+		n.Output = true
+		n.SendAll(true)
+		n.Halt()
+	}
+}
+
+func (misAlgo) Step(n *dist.Node, inbox []dist.Message) {
+	st := n.State.(*misState)
+	for _, m := range inbox {
+		if m != nil {
+			st.blocked = true
+		}
+	}
+	if n.Round() < n.Input.(int) {
+		return
+	}
+	if st.blocked {
+		n.Output = false
+		n.Halt()
+		return
+	}
+	n.Output = true
+	n.SendAll(true)
+	n.Halt()
+}
+
+// MISResult reports an MIS computation.
+type MISResult struct {
+	InMIS    []bool
+	Rounds   int
+	Messages int64
+}
+
+// MISFromColoring converts a legal coloring into an MIS in maxColor rounds.
+func MISFromColoring(net *dist.Network, colors []int) (*MISResult, error) {
+	g := net.Graph()
+	if len(colors) != g.N() {
+		return nil, fmt.Errorf("core: mis: %d colors for %d vertices", len(colors), g.N())
+	}
+	res, err := net.Run(misAlgo{}, dist.RunOptions{Inputs: dist.IntInputs(colors)})
+	if err != nil {
+		return nil, err
+	}
+	inMIS := make([]bool, g.N())
+	for v, o := range res.Outputs {
+		switch x := o.(type) {
+		case bool:
+			inMIS[v] = x
+		case error:
+			return nil, fmt.Errorf("core: mis: vertex %d: %w", v, x)
+		default:
+			return nil, fmt.Errorf("core: mis: vertex %d unexpected output %T", v, o)
+		}
+	}
+	return &MISResult{InMIS: inMIS, Rounds: res.Rounds, Messages: res.Messages}, nil
+}
+
+// MIS computes a maximal independent set on a graph of arboricity at most
+// a: Legal-Coloring with parameter p, then class-by-class selection.
+// Total time O(a + a^mu log n) per Section 1.2.
+func MIS(net *dist.Network, cfg Config) (*MISResult, *dist.Tally, error) {
+	lc, err := LegalColoring(net, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tally dist.Tally
+	tally.Merge(lc.Tally)
+	mr, err := MISFromColoring(net, lc.Colors)
+	if err != nil {
+		return nil, nil, err
+	}
+	tally.AddRounds("mis-sweep", mr.Rounds, mr.Messages)
+	return mr, &tally, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Property: MISFromColoring yields a maximal independent set for ANY legal
+// input coloring on ANY graph.
+func TestMISFromColoringPropertyQuick(t *testing.T) {
+	prop := func(seed uint32, nRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 10 + int(nRaw)%120
+		p := 0.01 + float64(pRaw%50)/200.0
+		g := graph.Gnp(n, p, rng)
+		// A legal coloring with arbitrary (shuffled, gappy) color values.
+		_, order := g.Degeneracy()
+		rev := make([]int, len(order))
+		for i, v := range order {
+			rev[len(order)-1-i] = v
+		}
+		base := g.GreedyColorByOrder(rev)
+		spread := 1 + int(pRaw%3)
+		colors := make([]int, n)
+		for v, c := range base {
+			colors[v] = c * spread
+		}
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := MISFromColoring(net, colors)
+		if err != nil {
+			return false
+		}
+		return g.CheckMIS(res.InMIS) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Legal-Coloring output is legal and within its declared palette
+// for random forest-union workloads and random (a, p) parameters.
+func TestLegalColoringPropertyQuick(t *testing.T) {
+	prop := func(seed uint32, aRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		a := 2 + int(aRaw)%10
+		p := 4 + int(pRaw)%12
+		g := graph.ForestUnion(150, a, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := LegalColoring(net, Config{Arboricity: a, P: p})
+		if err != nil {
+			return false
+		}
+		if g.CheckLegalColoring(res.Colors) != nil {
+			return false
+		}
+		return graph.MaxColor(res.Colors) < res.Palette
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the MIS sweep size is at least n/(Delta+1) (any MIS is), and
+// joining vertices always span every color class that is locally first.
+func TestMISSizeLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(424))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Gnp(200, 0.05, rng)
+		_, order := g.Degeneracy()
+		rev := make([]int, len(order))
+		for i, v := range order {
+			rev[len(order)-1-i] = v
+		}
+		colors := g.GreedyColorByOrder(rev)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := MISFromColoring(net, colors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 0
+		for _, in := range res.InMIS {
+			if in {
+				size++
+			}
+		}
+		if min := g.N() / (g.MaxDegree() + 1); size < min {
+			t.Errorf("trial %d: MIS size %d < n/(Delta+1) = %d", trial, size, min)
+		}
+	}
+}

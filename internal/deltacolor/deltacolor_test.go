@@ -1,0 +1,179 @@
+package deltacolor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func TestColorDeltaPlusOneRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{120, 0.03}, {120, 0.1}, {200, 0.05},
+	} {
+		g := graph.Gnp(tc.n, tc.p, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := ColorDeltaPlusOne(net)
+		if err != nil {
+			t.Fatalf("n=%d p=%v: %v", tc.n, tc.p, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("n=%d p=%v: %v", tc.n, tc.p, err)
+		}
+		delta := g.MaxDegree()
+		if mc := graph.MaxColor(res.Colors); mc > delta {
+			t.Errorf("n=%d p=%v: max color %d > Delta=%d", tc.n, tc.p, mc, delta)
+		}
+		if res.Palette != delta+1 {
+			t.Errorf("palette %d != Delta+1 = %d", res.Palette, delta+1)
+		}
+	}
+}
+
+func TestColorDeltaPlusOneStructured(t *testing.T) {
+	cyc, err := graph.Cycle(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"path":     graph.Path(50),
+		"cycle":    cyc,
+		"star":     graph.Star(40),
+		"complete": graph.Complete(10),
+		"grid":     graph.Grid(7, 9),
+		"empty":    graph.NewBuilder(8).Build(),
+		"single":   graph.NewBuilder(1).Build(),
+	}
+	for name, g := range cases {
+		net := dist.NewNetwork(g)
+		res, err := ColorDeltaPlusOne(net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > g.MaxDegree() {
+			t.Errorf("%s: max color %d > Delta=%d", name, mc, g.MaxDegree())
+		}
+	}
+}
+
+func TestColorDeltaPlusOneRoundsLinearInDelta(t *testing.T) {
+	// The round count must scale roughly linearly with Delta, not with n:
+	// measure at fixed n with growing Delta and compare against the
+	// estimate; also ensure it stays far below n.
+	rng := rand.New(rand.NewSource(401))
+	n := 400
+	for _, d := range []int{4, 8, 16, 32} {
+		g := graph.RandomRegularish(n, d, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := ColorDeltaPlusOne(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatal(err)
+		}
+		delta := g.MaxDegree()
+		est := RoundsUpperBound(n, delta)
+		got := res.Tally.Rounds()
+		if got > est+4 {
+			t.Errorf("d=%d: rounds %d > estimate %d", d, got, est)
+		}
+	}
+}
+
+func TestColorDeltaPlusOneRoundsIndependentOfN(t *testing.T) {
+	// At fixed Delta, doubling n must leave the round count essentially
+	// unchanged (the dependence on n is only through log* n).
+	rng := rand.New(rand.NewSource(403))
+	rounds := make(map[int]int)
+	for _, n := range []int{200, 800} {
+		g := graph.RandomRegularish(n, 12, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		res, err := ColorDeltaPlusOne(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatal(err)
+		}
+		rounds[n] = res.Tally.Rounds()
+	}
+	if rounds[800] > rounds[200]+rounds[200]/2+8 {
+		t.Errorf("rounds grew with n: %v", rounds)
+	}
+}
+
+func TestColorWithinLabels(t *testing.T) {
+	// Color two label classes in parallel; each class legal with its own
+	// degree bound, cross-class edges unconstrained.
+	rng := rand.New(rand.NewSource(402))
+	g := graph.Gnp(150, 0.06, rng)
+	labels := make([]int, g.N())
+	for v := range labels {
+		labels[v] = v % 3
+	}
+	degBound := 0
+	for v := 0; v < g.N(); v++ {
+		if d := len(dist.VisiblePorts(g, labels, nil, v)); d > degBound {
+			degBound = d
+		}
+	}
+	net := dist.NewNetwork(g)
+	res, err := ColorWithin(net, labels, nil, degBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if res.Colors[v] < 0 || res.Colors[v] > degBound {
+			t.Fatalf("vertex %d color %d outside palette", v, res.Colors[v])
+		}
+		for _, u := range g.Neighbors(v) {
+			if labels[u] == labels[v] && res.Colors[u] == res.Colors[v] {
+				t.Fatalf("intra-label edge (%d,%d) monochromatic", v, u)
+			}
+		}
+	}
+}
+
+func TestColorWithinRejectsNegativeBound(t *testing.T) {
+	net := dist.NewNetwork(graph.Path(3))
+	if _, err := ColorWithin(net, nil, nil, -1); err == nil {
+		t.Error("negative degree bound accepted")
+	}
+}
+
+func TestCompactLabels(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 0}
+	refine := []int{5, 5, 5, 7, 9}
+	out := dist.ComposeLabels(labels, refine)
+	// (0,5)->(0,5) same; (1,5) differs; (1,7) differs; (0,9) differs.
+	if out[0] != out[1] {
+		t.Error("identical pairs mapped differently")
+	}
+	distinct := map[int]bool{}
+	for _, x := range out {
+		distinct[x] = true
+	}
+	if len(distinct) != 4 {
+		t.Errorf("expected 4 classes, got %d", len(distinct))
+	}
+}
+
+func TestRoundsUpperBoundMonotone(t *testing.T) {
+	prev := 0
+	for _, d := range []int{4, 8, 16, 32, 64, 128} {
+		est := RoundsUpperBound(10000, d)
+		if est < prev/2 {
+			t.Errorf("estimate dropped sharply at d=%d: %d after %d", d, est, prev)
+		}
+		prev = est
+	}
+}

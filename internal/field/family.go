@@ -1,0 +1,109 @@
+package field
+
+import "fmt"
+
+// Family is a family of functions phi_x : [0,Q) -> [0,Q), indexed by
+// x in [0, Size()), such that any two distinct functions agree on at most
+// Agreement() points. It is realized by polynomials of degree <= D over F_q:
+// the index x is interpreted in base q as the coefficient vector.
+//
+// Family satisfies the hypotheses of Lemma 5.1 in the paper (and Lemma 4.3
+// of Kuhn SPAA'09): |A| = |B| = q, k = D, and |F| = q^(D+1) >= M functions.
+type Family struct {
+	fp     Fp
+	degree int // D: maximum polynomial degree
+	size   int // q^(D+1), clamped to avoid overflow
+}
+
+// NewFamily constructs a polynomial family over F_q with degree bound d.
+// q must be prime and d >= 0. The family contains q^(d+1) functions
+// (saturating at MaxInt-ish sizes; callers only need size >= their M).
+func NewFamily(q, d int) (*Family, error) {
+	fp, err := NewFp(q)
+	if err != nil {
+		return nil, err
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("field: negative degree %d", d)
+	}
+	size := 1
+	for i := 0; i <= d; i++ {
+		if size > (1<<62)/q {
+			size = 1 << 62 // effectively unbounded for our purposes
+			break
+		}
+		size *= q
+	}
+	return &Family{fp: fp, degree: d, size: size}, nil
+}
+
+// MinimalFamily returns the polynomial family over the smallest prime
+// q >= qMin whose size is at least m, keeping the degree (and hence the
+// pairwise agreement) as small as possible for that q.
+//
+// This is the parameter selection used by every recoloring schedule:
+// the caller knows a lower bound qMin on the field size it needs for the
+// pigeonhole argument, and the number m of input colors it must index.
+func MinimalFamily(qMin, m int) (*Family, error) {
+	if qMin < 2 {
+		qMin = 2
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("field: family must index m >= 1 colors, got %d", m)
+	}
+	q := NextPrime(qMin)
+	// Smallest d with q^(d+1) >= m.
+	d := 0
+	pow := q
+	for pow < m {
+		if pow > (1<<62)/q {
+			break
+		}
+		pow *= q
+		d++
+	}
+	return NewFamily(q, d)
+}
+
+// Q returns the common domain/range size |A| = |B| = q.
+func (f *Family) Q() int { return f.fp.Q() }
+
+// Degree returns the polynomial degree bound D.
+func (f *Family) Degree() int { return f.degree }
+
+// Agreement returns the maximum number of points on which two distinct
+// functions of the family can agree (= Degree()).
+func (f *Family) Agreement() int { return f.degree }
+
+// Size returns the number of functions in the family, q^(D+1).
+func (f *Family) Size() int { return f.size }
+
+// Eval returns phi_x(alpha), for function index x in [0, Size()) and
+// point alpha in [0, Q()). The index is decoded in base q into the
+// coefficient vector of a degree-<=D polynomial.
+func (f *Family) Eval(x, alpha int) int {
+	q := f.fp.Q()
+	// Horner's rule over the base-q digits of x, most significant first.
+	// Digits of x in base q are the coefficients c_0..c_D.
+	// phi_x(alpha) = sum c_i alpha^i.
+	acc := 0
+	powAlpha := 1
+	for i := 0; i <= f.degree; i++ {
+		c := x % q
+		x /= q
+		acc = (acc + c*powAlpha) % q
+		powAlpha = (powAlpha * alpha) % q
+	}
+	return acc
+}
+
+// Row materializes the value vector (phi_x(0), ..., phi_x(q-1)).
+// Convenient for tests and for nodes that evaluate all points anyway.
+func (f *Family) Row(x int) []int {
+	q := f.fp.Q()
+	row := make([]int, q)
+	for alpha := 0; alpha < q; alpha++ {
+		row[alpha] = f.Eval(x, alpha)
+	}
+	return row
+}

@@ -1,0 +1,203 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		17: true, 19: true, 23: true, 97: true, 101: true, 7919: true,
+	}
+	composites := []int{-7, -1, 0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 49, 91, 7917, 7921}
+	for p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 5000
+	sieve := make([]bool, limit)
+	for i := range sieve {
+		sieve[i] = i >= 2
+	}
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for n := 0; n < limit; n++ {
+		if IsPrime(n) != sieve[n] {
+			t.Fatalf("IsPrime(%d) = %v, sieve says %v", n, IsPrime(n), sieve[n])
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{-5, 2}, {0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17},
+		{7907, 7907}, {7908, 7919},
+	}
+	for _, tc := range tests {
+		if got := NextPrime(tc.in); got != tc.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewFpRejectsComposite(t *testing.T) {
+	if _, err := NewFp(10); err == nil {
+		t.Fatal("NewFp(10) succeeded, want error")
+	}
+	if _, err := NewFp(1); err == nil {
+		t.Fatal("NewFp(1) succeeded, want error")
+	}
+}
+
+func TestFpArithmetic(t *testing.T) {
+	fp, err := NewFp(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.Add(5, 4); got != 2 {
+		t.Errorf("Add(5,4) mod 7 = %d, want 2", got)
+	}
+	if got := fp.Mul(5, 4); got != 6 {
+		t.Errorf("Mul(5,4) mod 7 = %d, want 6", got)
+	}
+	// Eval of p(x) = 3 + 2x + x^2 at x=4 mod 7: 3+8+16 = 27 mod 7 = 6.
+	if got := fp.Eval([]int{3, 2, 1}, 4); got != 6 {
+		t.Errorf("Eval = %d, want 6", got)
+	}
+}
+
+func TestFamilySizeAndEvalDecoding(t *testing.T) {
+	fam, err := NewFamily(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Size() != 125 {
+		t.Fatalf("Size = %d, want 125", fam.Size())
+	}
+	// Index x = c0 + 5*c1 + 25*c2. For x = 1 + 5*2 + 25*3 = 86,
+	// phi(alpha) = 1 + 2 alpha + 3 alpha^2 mod 5. At alpha = 2: 1+4+12=17 mod 5 = 2.
+	if got := fam.Eval(86, 2); got != 2 {
+		t.Errorf("Eval(86, 2) = %d, want 2", got)
+	}
+}
+
+func TestFamilyPairwiseAgreement(t *testing.T) {
+	// Exhaustively verify the agreement bound on a small family.
+	fam, err := NewFamily(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fam.Size() // 343
+	rows := make([][]int, n)
+	for x := 0; x < n; x++ {
+		rows[x] = fam.Row(x)
+	}
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			agree := 0
+			for alpha := 0; alpha < fam.Q(); alpha++ {
+				if rows[x][alpha] == rows[y][alpha] {
+					agree++
+				}
+			}
+			if agree > fam.Agreement() {
+				t.Fatalf("functions %d,%d agree on %d points, bound %d", x, y, agree, fam.Agreement())
+			}
+		}
+	}
+}
+
+func TestFamilyDistinctFunctions(t *testing.T) {
+	fam, err := NewFamily(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[5]int]int, fam.Size())
+	for x := 0; x < fam.Size(); x++ {
+		var key [5]int
+		copy(key[:], fam.Row(x))
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("indices %d and %d map to the same function", prev, x)
+		}
+		seen[key] = x
+	}
+}
+
+func TestMinimalFamilyCoversM(t *testing.T) {
+	for _, tc := range []struct{ qMin, m int }{
+		{2, 1}, {2, 100}, {10, 1000}, {50, 7}, {3, 1 << 20}, {1000, 10},
+	} {
+		fam, err := MinimalFamily(tc.qMin, tc.m)
+		if err != nil {
+			t.Fatalf("MinimalFamily(%d,%d): %v", tc.qMin, tc.m, err)
+		}
+		if fam.Size() < tc.m {
+			t.Errorf("MinimalFamily(%d,%d).Size() = %d < m", tc.qMin, tc.m, fam.Size())
+		}
+		if fam.Q() < tc.qMin {
+			t.Errorf("MinimalFamily(%d,%d).Q() = %d < qMin", tc.qMin, tc.m, fam.Q())
+		}
+	}
+}
+
+func TestMinimalFamilyRejectsBadM(t *testing.T) {
+	if _, err := MinimalFamily(5, 0); err == nil {
+		t.Fatal("MinimalFamily(5, 0) succeeded, want error")
+	}
+}
+
+func TestFamilyEvalInRangeQuick(t *testing.T) {
+	fam, err := NewFamily(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, alpha uint16) bool {
+		xi := int(x) % fam.Size()
+		ai := int(alpha) % fam.Q()
+		v := fam.Eval(xi, ai)
+		return v >= 0 && v < fam.Q()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFamilyAgreementQuick(t *testing.T) {
+	// Randomized agreement check on a larger family than the exhaustive test.
+	fam, err := NewFamily(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint32) bool {
+		x := int(a) % fam.Size()
+		y := int(b) % fam.Size()
+		if x == y {
+			return true
+		}
+		agree := 0
+		for alpha := 0; alpha < fam.Q(); alpha++ {
+			if fam.Eval(x, alpha) == fam.Eval(y, alpha) {
+				agree++
+			}
+		}
+		return agree <= fam.Agreement()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// ForestsDecomposition partitions the edge set into forests (Lemma 2.2(2)):
+// ForestOf maps each edge (keyed by its (min,max) endpoints) to a forest
+// index in [0, NumForests). Each forest is an edge-disjoint acyclic
+// subgraph, and NumForests <= floor((2+eps)a).
+type ForestsDecomposition struct {
+	Sigma      *graph.Orientation
+	ForestOf   map[[2]int]int
+	NumForests int
+	Rounds     int
+}
+
+// forestAssign: each vertex locally labels its outgoing (parent) edges with
+// distinct forest indices 0,1,2,... in port order. No communication needed
+// beyond the orientation exchange; the assignment round is free.
+type forestAssign struct{}
+
+type forestAssignInput struct {
+	ParentPort []bool
+}
+
+type forestAssignOutput struct {
+	// ForestOfPort[p] is the forest index of the outgoing edge on port p,
+	// or -1 when the port is not a parent edge.
+	ForestOfPort []int
+}
+
+func (forestAssign) Init(n *dist.Node) {
+	in := n.Input.(forestAssignInput)
+	out := make([]int, len(in.ParentPort))
+	next := 0
+	for p, isParent := range in.ParentPort {
+		if isParent {
+			out[p] = next
+			next++
+		} else {
+			out[p] = -1
+		}
+	}
+	n.Output = forestAssignOutput{ForestOfPort: out}
+	n.Halt()
+}
+
+func (forestAssign) Step(n *dist.Node, inbox []dist.Message) {}
+
+// Decompose computes an O(a)-forests decomposition in O(log n) time
+// (Lemma 2.2(2)): H-partition, (level,id) orientation, then local forest
+// assignment of each vertex's <= floor((2+eps)a) outgoing edges.
+func Decompose(net *dist.Network, a int, eps Eps) (*ForestsDecomposition, error) {
+	or, _, err := CompleteAcyclicOrientation(net, a, eps)
+	if err != nil {
+		return nil, err
+	}
+	return DecomposeWithOrientation(net, or.Sigma, or.Rounds)
+}
+
+// DecomposeWithOrientation derives the forests decomposition from an
+// existing acyclic orientation; baseRounds is added to the reported cost.
+func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseRounds int) (*ForestsDecomposition, error) {
+	g := net.Graph()
+	n := g.N()
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		flags := make([]bool, len(nbrs))
+		for p, u := range nbrs {
+			flags[p] = sigma.IsParent(v, u)
+		}
+		inputs[v] = forestAssignInput{ParentPort: flags}
+	}
+	res, err := net.Run(forestAssign{}, dist.RunOptions{Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	forestOf := make(map[[2]int]int, g.M())
+	numForests := 0
+	for v := 0; v < n; v++ {
+		out, ok := res.Outputs[v].(forestAssignOutput)
+		if !ok {
+			return nil, fmt.Errorf("forest: vertex %d missing assignment", v)
+		}
+		nbrs := g.Neighbors(v)
+		for p, f := range out.ForestOfPort {
+			if f < 0 {
+				continue
+			}
+			u := nbrs[p]
+			key := [2]int{v, u}
+			if u < v {
+				key = [2]int{u, v}
+			}
+			forestOf[key] = f
+			if f+1 > numForests {
+				numForests = f + 1
+			}
+		}
+	}
+	return &ForestsDecomposition{
+		Sigma:      sigma,
+		ForestOf:   forestOf,
+		NumForests: numForests,
+		Rounds:     baseRounds + res.Rounds,
+	}, nil
+}
+
+// Forest materializes forest f as a spanning subgraph of the original
+// vertex set (so vertex indices are unchanged).
+func (fd *ForestsDecomposition) Forest(f int) (*graph.Graph, error) {
+	if f < 0 || f >= fd.NumForests {
+		return nil, fmt.Errorf("forest: index %d out of range [0,%d)", f, fd.NumForests)
+	}
+	b := graph.NewBuilder(fd.Sigma.Graph().N())
+	for e, fi := range fd.ForestOf {
+		if fi == f {
+			if err := b.AddEdge(e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Validate checks the decomposition invariants: every edge is assigned to
+// exactly one forest, and every forest is acyclic.
+func (fd *ForestsDecomposition) Validate() error {
+	g := fd.Sigma.Graph()
+	if len(fd.ForestOf) != g.M() {
+		return fmt.Errorf("forest: %d of %d edges assigned", len(fd.ForestOf), g.M())
+	}
+	for f := 0; f < fd.NumForests; f++ {
+		fg, err := fd.Forest(f)
+		if err != nil {
+			return err
+		}
+		if !fg.IsForest() {
+			return fmt.Errorf("forest: part %d contains a cycle", f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func TestEpsThreshold(t *testing.T) {
+	if got := DefaultEps.Threshold(4); got != 9 {
+		t.Errorf("Threshold(4) = %d, want 9", got)
+	}
+	if got := (Eps{Num: 1, Den: 2}).Threshold(10); got != 25 {
+		t.Errorf("Threshold(10) = %d, want 25", got)
+	}
+}
+
+func TestHPartitionOnForestUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for _, a := range []int{1, 2, 4, 8} {
+		g := graph.ForestUnion(400, a, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		hp, err := ComputeHPartition(net, a, DefaultEps, nil, nil)
+		if err != nil {
+			t.Fatalf("a=%d: %v", a, err)
+		}
+		// Lemma 2.3: every vertex has at most floor((2+eps)a) neighbors in
+		// its own or higher levels.
+		for v := 0; v < g.N(); v++ {
+			cnt := 0
+			for _, u := range g.Neighbors(v) {
+				if hp.Level[u] >= hp.Level[v] {
+					cnt++
+				}
+			}
+			if cnt > hp.Degree {
+				t.Fatalf("a=%d vertex %d: %d same-or-higher neighbors > %d", a, v, cnt, hp.Degree)
+			}
+		}
+		// O(log n) levels.
+		if limit := 4*int(math.Log2(float64(g.N()))) + 8; hp.NumLevels > limit {
+			t.Errorf("a=%d: %d levels > %d", a, hp.NumLevels, limit)
+		}
+		if hp.Rounds != hp.NumLevels {
+			t.Errorf("a=%d: rounds %d != levels %d", a, hp.Rounds, hp.NumLevels)
+		}
+	}
+}
+
+func TestHPartitionTooSmallBound(t *testing.T) {
+	// A clique has arboricity ~n/2; bound 1 must stall.
+	net := dist.NewNetwork(graph.Complete(24))
+	_, err := ComputeHPartition(net, 1, DefaultEps, nil, nil)
+	if !errors.Is(err, ErrArboricityTooSmall) {
+		t.Fatalf("err = %v, want ErrArboricityTooSmall", err)
+	}
+}
+
+func TestHPartitionValidation(t *testing.T) {
+	net := dist.NewNetwork(graph.Path(4))
+	if _, err := ComputeHPartition(net, 0, DefaultEps, nil, nil); err == nil {
+		t.Error("a=0 accepted")
+	}
+	if _, err := ComputeHPartition(net, 1, Eps{}, nil, nil); err == nil {
+		t.Error("zero eps accepted")
+	}
+}
+
+func TestEstimateArboricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	g := graph.ForestUnion(300, 5, rng)
+	net := dist.NewNetworkPermuted(g, rng)
+	a, hp, tally, err := EstimateArboricity(net, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 1 || a > 16 {
+		t.Errorf("estimated a = %d for true arboricity <= 5", a)
+	}
+	if hp == nil || tally == nil || tally.Rounds() == 0 {
+		t.Error("missing partition or tally")
+	}
+}
+
+func TestCompleteAcyclicOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for _, a := range []int{2, 5} {
+		g := graph.ForestUnion(300, a, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		or, hp, err := CompleteAcyclicOrientation(net, a, DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := or.Sigma
+		if !sigma.IsComplete() {
+			t.Fatal("orientation incomplete (ids are unique; no ties possible)")
+		}
+		if !sigma.IsAcyclic() {
+			t.Fatal("orientation cyclic (Lemma 2.4 violated)")
+		}
+		if od := sigma.MaxOutDegree(); od > hp.Degree {
+			t.Errorf("a=%d: out-degree %d > %d", a, od, hp.Degree)
+		}
+	}
+}
+
+func TestOrientByLevelKeyTiesUnoriented(t *testing.T) {
+	// Same level, same key everywhere: nothing is oriented.
+	g := graph.Path(5)
+	net := dist.NewNetwork(g)
+	levels := []int{1, 1, 1, 1, 1}
+	keys := []int{7, 7, 7, 7, 7}
+	or, err := OrientByLevelKey(net, levels, keys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Sigma.MaxDeficit() != 2 { // middle vertices have both edges unoriented
+		t.Errorf("deficit = %d, want 2", or.Sigma.MaxDeficit())
+	}
+	if or.Sigma.MaxOutDegree() != 0 {
+		t.Error("tied edges were oriented")
+	}
+}
+
+func TestOrientRespectsLabels(t *testing.T) {
+	g := graph.Path(4) // edges (0,1),(1,2),(2,3)
+	net := dist.NewNetwork(g)
+	labels := []int{0, 0, 1, 1}
+	levels := []int{1, 2, 1, 2}
+	keys := []int{0, 0, 0, 0}
+	or, err := OrientByLevelKey(net, levels, keys, labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Sigma.IsParent(0, 1) || !or.Sigma.IsParent(2, 3) {
+		t.Error("intra-label edges not oriented")
+	}
+	if or.Sigma.DirOf(1, 2) != graph.Unoriented {
+		t.Error("cross-label edge was oriented")
+	}
+}
+
+func TestDecomposeForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for _, a := range []int{1, 3, 6} {
+		g := graph.ForestUnion(250, a, rng)
+		net := dist.NewNetworkPermuted(g, rng)
+		fd, err := Decompose(net, a, DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Validate(); err != nil {
+			t.Fatalf("a=%d: %v", a, err)
+		}
+		if fd.NumForests > DefaultEps.Threshold(a) {
+			t.Errorf("a=%d: %d forests > %d (Lemma 2.2(2))", a, fd.NumForests, DefaultEps.Threshold(a))
+		}
+	}
+}
+
+func TestForestIndexOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	g := graph.ForestUnion(50, 2, rng)
+	net := dist.NewNetwork(g)
+	fd, err := Decompose(net, 2, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Forest(-1); err == nil {
+		t.Error("negative forest index accepted")
+	}
+	if _, err := fd.Forest(fd.NumForests); err == nil {
+		t.Error("out-of-range forest index accepted")
+	}
+}
+
+func TestWaitColorFirstFreeIsLegal(t *testing.T) {
+	// Appendix A / Lemma 2.2(1): greedy coloring along a complete acyclic
+	// orientation with palette out-degree+1 is legal.
+	rng := rand.New(rand.NewSource(205))
+	g := graph.ForestUnion(300, 4, rng)
+	net := dist.NewNetworkPermuted(g, rng)
+	or, hp, err := CompleteAcyclicOrientation(net, 4, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := WaitColor(net, or.Sigma, hp.Degree+1, RuleFirstFree, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckLegalColoring(wc.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if mc := graph.MaxColor(wc.Colors); mc > hp.Degree {
+		t.Errorf("max color %d > %d", mc, hp.Degree)
+	}
+	length, err := or.Sigma.Length()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Rounds > length+1 {
+		t.Errorf("rounds %d > len+1 = %d (Theorem 3.2)", wc.Rounds, length+1)
+	}
+}
+
+func TestWaitColorLeastUsedPigeonhole(t *testing.T) {
+	// Theorem 3.2 core: with k colors, at most floor(m/k) parents share the
+	// chosen color, so each color class has out-degree <= floor(m/k).
+	rng := rand.New(rand.NewSource(206))
+	g := graph.ForestUnion(300, 6, rng)
+	net := dist.NewNetworkPermuted(g, rng)
+	or, _, err := CompleteAcyclicOrientation(net, 6, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := or.Sigma.MaxOutDegree()
+	for _, k := range []int{2, 3, 5} {
+		wc, err := WaitColor(net, or.Sigma, k, RuleLeastUsed, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify per-vertex: same-colored parents <= floor(m/k).
+		for v := 0; v < g.N(); v++ {
+			same := 0
+			for _, u := range or.Sigma.Parents(v) {
+				if wc.Colors[u] == wc.Colors[v] {
+					same++
+				}
+			}
+			if same > m/k {
+				t.Fatalf("k=%d vertex %d: %d same-colored parents > %d", k, v, same, m/k)
+			}
+		}
+		if err := g.CheckArbdefectWitness(wc.Colors, or.Sigma, m/k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestWaitColorPaletteExhaustion(t *testing.T) {
+	// Star oriented leaf->center... center has 0 parents; orient edges
+	// from center towards leaves instead so center has many parents and a
+	// palette of 1 must fail under RuleFirstFree once any parent uses it.
+	g := graph.Star(5)
+	sigma := graph.NewOrientation(g)
+	for v := 1; v < 5; v++ {
+		if err := sigma.Orient(0, v); err != nil { // leaves are parents of center
+			t.Fatal(err)
+		}
+	}
+	net := dist.NewNetwork(g)
+	if _, err := WaitColor(net, sigma, 1, RuleFirstFree, nil, nil); err == nil {
+		t.Error("palette exhaustion not reported")
+	}
+}
+
+func TestWaitColorRejectsCyclicOrientation(t *testing.T) {
+	cyc, err := graph.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := graph.NewOrientation(cyc)
+	for v := 0; v < 4; v++ {
+		_ = sigma.Orient(v, (v+1)%4)
+	}
+	net := dist.NewNetwork(cyc)
+	if _, err := WaitColor(net, sigma, 3, RuleFirstFree, nil, nil); err == nil {
+		t.Error("cyclic orientation accepted")
+	}
+}
+
+func TestChoiceRuleUnknown(t *testing.T) {
+	if _, err := ChoiceRule(99).choose([]int{0}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// This file implements the orientation step shared by Lemma 2.4 and by
+// Procedures Complete-Orientation / Partial-Orientation (Section 3): given
+// an H-partition and a per-vertex key, orient each edge towards the
+// endpoint with the lexicographically larger (level, key) pair; edges whose
+// endpoints tie on both are left unoriented.
+//
+// With key = id, no ties occur and the result is the complete acyclic
+// orientation of Lemma 2.4 (out-degree <= floor((2+eps)a), unbounded
+// length). With key = a legal per-level coloring it is Procedure
+// Complete-Orientation (length O(#colors * #levels)); with key = a
+// defective per-level coloring it is Procedure Partial-Orientation
+// (deficit <= per-level defect, length O(#colors * #levels)).
+
+// orientExchange is the one-round exchange in which every vertex learns
+// its neighbors' (level, key) pairs and derives parent-port flags locally.
+type orientExchange struct{}
+
+type orientMsg struct {
+	Level int
+	Key   int
+}
+
+type orientInput struct {
+	Level int
+	Key   int
+}
+
+// orientOutput reports, for each visible port: +1 parent, -1 child,
+// 0 unoriented.
+type orientOutput struct {
+	PortDir []int8
+}
+
+func (orientExchange) Init(n *dist.Node) {
+	in := n.Input.(orientInput)
+	n.SendAll(orientMsg{Level: in.Level, Key: in.Key})
+}
+
+func (orientExchange) Step(n *dist.Node, inbox []dist.Message) {
+	in := n.Input.(orientInput)
+	dirs := make([]int8, len(inbox))
+	for p, m := range inbox {
+		if m == nil {
+			continue
+		}
+		om := m.(orientMsg)
+		switch {
+		case om.Level > in.Level || (om.Level == in.Level && om.Key > in.Key):
+			dirs[p] = +1 // neighbor is our parent
+		case om.Level < in.Level || (om.Level == in.Level && om.Key < in.Key):
+			dirs[p] = -1 // neighbor is our child
+		default:
+			dirs[p] = 0 // tie: unoriented
+		}
+	}
+	n.Output = orientOutput{PortDir: dirs}
+	n.Halt()
+}
+
+// OrientResult bundles the distributed orientation with its cost.
+type OrientResult struct {
+	Sigma    *graph.Orientation
+	Rounds   int
+	Messages int64
+}
+
+// OrientByLevelKey runs the one-round orientation exchange. levels and keys
+// are per-vertex; labels/active optionally restrict to subgraphs (edges
+// across labels are not oriented). The orientation is assembled centrally
+// from the per-node outputs for verification and later phases; each node
+// only ever used its own (level, key) and its neighbors' messages.
+func OrientByLevelKey(net *dist.Network, levels, keys []int, labels []int, active []bool) (*OrientResult, error) {
+	g := net.Graph()
+	n := g.N()
+	if len(levels) != n || len(keys) != n {
+		return nil, fmt.Errorf("forest: levels/keys length mismatch")
+	}
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		inputs[v] = orientInput{Level: levels[v], Key: keys[v]}
+	}
+	res, err := net.Run(orientExchange{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
+	if err != nil {
+		return nil, err
+	}
+	sigma := graph.NewOrientation(g)
+	for v := 0; v < n; v++ {
+		out, ok := res.Outputs[v].(orientOutput)
+		if !ok {
+			continue // inactive vertex
+		}
+		ports := dist.VisiblePorts(g, labels, active, v)
+		for p, d := range out.PortDir {
+			if d == +1 {
+				if err := sigma.Orient(v, ports[p]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &OrientResult{Sigma: sigma, Rounds: res.Rounds, Messages: res.Messages}, nil
+}
+
+// CompleteAcyclicOrientation implements Lemma 2.4: an acyclic complete
+// orientation with out-degree floor((2+eps)a) in O(log n) time, via an
+// H-partition followed by the (level, id) orientation exchange.
+func CompleteAcyclicOrientation(net *dist.Network, a int, eps Eps) (*OrientResult, *HPartition, error) {
+	hp, err := ComputeHPartition(net, a, eps, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := net.IDs()
+	or, err := OrientByLevelKey(net, hp.Level, ids, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	or.Rounds += hp.Rounds
+	return or, hp, nil
+}

@@ -1,0 +1,179 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// This file implements the wait-for-parents coloring engine: given an
+// acyclic (partial) orientation, every vertex waits until all its parents
+// have selected colors, then selects its own according to a local rule and
+// announces it. Running time is len(sigma)+1 rounds (Theorem 3.2 /
+// Appendix A induction).
+//
+// Two rules are used in the paper:
+//   - RuleFirstFree: smallest palette color unused by any parent; with
+//     palette size > out-degree this yields a LEGAL coloring of the edges
+//     oriented by sigma (Appendix A; and Lemma 2.2(1) when sigma is a
+//     Complete-Orientation).
+//   - RuleLeastUsed: palette color selected by the fewest parents; by
+//     pigeonhole at most floor(outdeg/k) parents share the chosen color,
+//     which is the core of Procedure Simple-Arbdefective (Theorem 3.2).
+
+// ChoiceRule selects a color in [0, palette) given the multiset of parent
+// colors (parentColors[c] = number of parents colored c).
+type ChoiceRule int
+
+const (
+	// RuleFirstFree picks the smallest color used by no parent.
+	RuleFirstFree ChoiceRule = iota + 1
+	// RuleLeastUsed picks the color used by the fewest parents
+	// (smallest index on ties).
+	RuleLeastUsed
+)
+
+func (r ChoiceRule) choose(counts []int) (int, error) {
+	switch r {
+	case RuleFirstFree:
+		for c, k := range counts {
+			if k == 0 {
+				return c, nil
+			}
+		}
+		return 0, fmt.Errorf("forest: palette of size %d exhausted", len(counts))
+	case RuleLeastUsed:
+		best := 0
+		for c := 1; c < len(counts); c++ {
+			if counts[c] < counts[best] {
+				best = c
+			}
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("forest: unknown choice rule %d", r)
+	}
+}
+
+// WaitColorInput is the per-node input of the wait-for-parents engine.
+type WaitColorInput struct {
+	// ParentPort flags which visible ports lead to parents under sigma.
+	ParentPort []bool
+	// Palette is the number of available colors k.
+	Palette int
+	// Rule selects the color choice rule.
+	Rule ChoiceRule
+}
+
+type waitColorState struct {
+	parentColors []int // counts per palette color
+	pending      int   // parents not yet heard from
+	errMsg       string
+}
+
+// WaitColorAlgo is the dist.Algorithm for the engine.
+type WaitColorAlgo struct{}
+
+func (WaitColorAlgo) Init(n *dist.Node) {
+	in, ok := n.Input.(WaitColorInput)
+	if !ok || in.Palette < 1 {
+		n.Output = fmt.Errorf("forest: bad wait-color input %T", n.Input)
+		n.Halt()
+		return
+	}
+	pending := 0
+	for _, p := range in.ParentPort {
+		if p {
+			pending++
+		}
+	}
+	st := &waitColorState{parentColors: make([]int, in.Palette), pending: pending}
+	n.State = st
+	if pending == 0 {
+		finishWaitColor(n, in, st)
+	}
+}
+
+func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
+	in := n.Input.(WaitColorInput)
+	st := n.State.(*waitColorState)
+	for p, m := range inbox {
+		if m == nil || p >= len(in.ParentPort) || !in.ParentPort[p] {
+			continue
+		}
+		c := m.(int)
+		if c >= 0 && c < len(st.parentColors) {
+			st.parentColors[c]++
+		}
+		st.pending--
+	}
+	if st.pending <= 0 {
+		finishWaitColor(n, in, st)
+	}
+}
+
+func finishWaitColor(n *dist.Node, in WaitColorInput, st *waitColorState) {
+	c, err := in.Rule.choose(st.parentColors)
+	if err != nil {
+		n.Output = err
+		n.Halt()
+		return
+	}
+	n.Output = c
+	n.SendAll(c)
+	n.Halt()
+}
+
+// WaitColorResult reports a wait-for-parents run.
+type WaitColorResult struct {
+	Colors   []int
+	Rounds   int
+	Messages int64
+}
+
+// WaitColor runs the engine over an orientation. palette is the number of
+// colors k; rule selects the per-vertex choice. labels/active optionally
+// restrict to subgraphs (sigma must then orient only intra-subgraph edges,
+// as produced by OrientByLevelKey with the same filters). Running time is
+// len(sigma)+1 rounds.
+func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule ChoiceRule, labels []int, active []bool) (*WaitColorResult, error) {
+	g := net.Graph()
+	n := g.N()
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		ports := dist.VisiblePorts(g, labels, active, v)
+		flags := make([]bool, len(ports))
+		for p, u := range ports {
+			flags[p] = sigma.IsParent(v, u)
+		}
+		inputs[v] = WaitColorInput{ParentPort: flags, Palette: palette, Rule: rule}
+	}
+	length, err := sigma.Length()
+	if err != nil {
+		return nil, fmt.Errorf("forest: wait-color needs acyclic orientation: %w", err)
+	}
+	res, err := net.Run(WaitColorAlgo{}, dist.RunOptions{
+		Inputs:    inputs,
+		Labels:    labels,
+		Active:    active,
+		MaxRounds: length + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, n)
+	for v, o := range res.Outputs {
+		switch x := o.(type) {
+		case int:
+			colors[v] = x
+		case error:
+			return nil, fmt.Errorf("forest: vertex %d: %w", v, x)
+		case nil:
+			colors[v] = 0 // inactive
+		default:
+			return nil, fmt.Errorf("forest: vertex %d unexpected output %T", v, o)
+		}
+	}
+	return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages}, nil
+}

@@ -1,0 +1,198 @@
+package graph
+
+import "fmt"
+
+// This file contains verifiers for the coloring notions of Section 2:
+// legal colorings, m-defective p-colorings, and r-arbdefective k-colorings
+// (Definition 2.1), plus independent-set / MIS checks.
+
+// CheckColoringShape validates that colors assigns a color to every vertex
+// (colors[v] >= 0) and len(colors) == n.
+func (g *Graph) CheckColoringShape(colors []int) error {
+	if len(colors) != g.n {
+		return fmt.Errorf("graph: coloring has %d entries for %d vertices", len(colors), g.n)
+	}
+	for v, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("graph: vertex %d is uncolored (color %d)", v, c)
+		}
+	}
+	return nil
+}
+
+// NumColors returns the number of distinct colors used.
+func NumColors(colors []int) int {
+	seen := make(map[int]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MaxColor returns the largest color value used (-1 for empty input).
+func MaxColor(colors []int) int {
+	m := -1
+	for _, c := range colors {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// CheckLegalColoring verifies that no edge is monochromatic.
+func (g *Graph) CheckLegalColoring(colors []int) error {
+	if err := g.CheckColoringShape(colors); err != nil {
+		return err
+	}
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.adj[v] {
+			if v < u && colors[v] == colors[u] {
+				return fmt.Errorf("graph: edge (%d,%d) is monochromatic with color %d", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}
+
+// Defect returns the defect of the coloring: the maximum, over vertices v,
+// of the number of neighbors of v sharing v's color.
+func (g *Graph) Defect(colors []int) int {
+	maxDef := 0
+	for v := 0; v < g.n; v++ {
+		d := 0
+		for _, u := range g.adj[v] {
+			if colors[u] == colors[v] {
+				d++
+			}
+		}
+		if d > maxDef {
+			maxDef = d
+		}
+	}
+	return maxDef
+}
+
+// CheckDefectiveColoring verifies an m-defective coloring: every vertex has
+// at most maxDefect same-colored neighbors.
+func (g *Graph) CheckDefectiveColoring(colors []int, maxDefect int) error {
+	if err := g.CheckColoringShape(colors); err != nil {
+		return err
+	}
+	if d := g.Defect(colors); d > maxDefect {
+		return fmt.Errorf("graph: coloring has defect %d > %d", d, maxDefect)
+	}
+	return nil
+}
+
+// ColorClasses groups vertices by color.
+func ColorClasses(colors []int) map[int][]int {
+	classes := make(map[int][]int)
+	for v, c := range colors {
+		classes[c] = append(classes[c], v)
+	}
+	return classes
+}
+
+// ArbDefect returns an upper bound on the arbdefect of the coloring: the
+// maximum degeneracy over color classes. Since arboricity <= degeneracy,
+// a return value of r certifies an r-arbdefective coloring (Definition 2.1).
+func (g *Graph) ArbDefect(colors []int) int {
+	maxArb := 0
+	for _, class := range ColorClasses(colors) {
+		sub, _, err := g.InducedSubgraph(class)
+		if err != nil {
+			continue // unreachable: classes are valid vertex sets
+		}
+		d, _ := sub.Degeneracy()
+		if d > maxArb {
+			maxArb = d
+		}
+	}
+	return maxArb
+}
+
+// CheckArbdefectiveColoring verifies an r-arbdefective coloring using the
+// degeneracy certificate: each color class must induce a subgraph of
+// degeneracy (hence arboricity) at most r.
+func (g *Graph) CheckArbdefectiveColoring(colors []int, r int) error {
+	if err := g.CheckColoringShape(colors); err != nil {
+		return err
+	}
+	if a := g.ArbDefect(colors); a > r {
+		return fmt.Errorf("graph: coloring has arbdefect (degeneracy bound) %d > %d", a, r)
+	}
+	return nil
+}
+
+// CheckArbdefectWitness verifies an r-arbdefective coloring via an
+// orientation witness (Lemma 2.5): within every color class, the witness
+// orientation must be acyclic and have out-degree at most r on edges
+// internal to the class. This is the exact certificate produced by the
+// paper's procedures.
+func (g *Graph) CheckArbdefectWitness(colors []int, o *Orientation, r int) error {
+	if err := g.CheckColoringShape(colors); err != nil {
+		return err
+	}
+	for c, class := range ColorClasses(colors) {
+		sub, orig, err := g.InducedSubgraph(class)
+		if err != nil {
+			return err
+		}
+		so := o.InducedOn(sub, orig)
+		complete, err := so.Complete()
+		if err != nil {
+			return fmt.Errorf("graph: color class %d witness: %w", c, err)
+		}
+		// Out-degree of the completed orientation certifies arboricity
+		// <= out-degree (Lemma 2.5); the completion adds at most the
+		// deficit to each vertex's out-degree.
+		if od := complete.MaxOutDegree(); od > r {
+			return fmt.Errorf("graph: color class %d witness out-degree %d > %d", c, od, r)
+		}
+	}
+	return nil
+}
+
+// CheckIndependentSet verifies that inSet (indexed by vertex) is an
+// independent set.
+func (g *Graph) CheckIndependentSet(inSet []bool) error {
+	if len(inSet) != g.n {
+		return fmt.Errorf("graph: set has %d entries for %d vertices", len(inSet), g.n)
+	}
+	for v := 0; v < g.n; v++ {
+		if !inSet[v] {
+			continue
+		}
+		for _, u := range g.adj[v] {
+			if v < u && inSet[u] {
+				return fmt.Errorf("graph: edge (%d,%d) inside independent set", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMIS verifies that inSet is a maximal independent set: independent,
+// and every vertex outside has a neighbor inside.
+func (g *Graph) CheckMIS(inSet []bool) error {
+	if err := g.CheckIndependentSet(inSet); err != nil {
+		return err
+	}
+	for v := 0; v < g.n; v++ {
+		if inSet[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.adj[v] {
+			if inSet[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("graph: vertex %d not in MIS and not dominated", v)
+		}
+	}
+	return nil
+}

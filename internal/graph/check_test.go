@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCheckLegalColoring(t *testing.T) {
+	g := Path(4)
+	if err := g.CheckLegalColoring([]int{0, 1, 0, 1}); err != nil {
+		t.Errorf("proper 2-coloring rejected: %v", err)
+	}
+	if err := g.CheckLegalColoring([]int{0, 0, 1, 0}); err == nil {
+		t.Error("monochromatic edge accepted")
+	}
+	if err := g.CheckLegalColoring([]int{0, 1, 0}); err == nil {
+		t.Error("short coloring accepted")
+	}
+	if err := g.CheckLegalColoring([]int{0, 1, -1, 1}); err == nil {
+		t.Error("uncolored vertex accepted")
+	}
+}
+
+func TestDefect(t *testing.T) {
+	g := Complete(4)
+	if d := g.Defect([]int{0, 0, 1, 1}); d != 1 {
+		t.Errorf("Defect = %d, want 1", d)
+	}
+	if d := g.Defect([]int{0, 0, 0, 1}); d != 2 {
+		t.Errorf("Defect = %d, want 2", d)
+	}
+	if err := g.CheckDefectiveColoring([]int{0, 0, 1, 1}, 1); err != nil {
+		t.Error(err)
+	}
+	if err := g.CheckDefectiveColoring([]int{0, 0, 0, 1}, 1); err == nil {
+		t.Error("defect 2 accepted as 1-defective")
+	}
+}
+
+func TestArbDefect(t *testing.T) {
+	// One color class = 5-cycle: degeneracy 2, arboricity 2.
+	cyc, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all0 := []int{0, 0, 0, 0, 0}
+	if a := cyc.ArbDefect(all0); a != 2 {
+		t.Errorf("ArbDefect = %d, want 2", a)
+	}
+	if err := cyc.CheckArbdefectiveColoring(all0, 2); err != nil {
+		t.Error(err)
+	}
+	if err := cyc.CheckArbdefectiveColoring(all0, 1); err == nil {
+		t.Error("cycle accepted as 1-arbdefective")
+	}
+	// Legal coloring has arbdefect 0.
+	if a := cyc.ArbDefect([]int{0, 1, 0, 1, 2}); a != 0 {
+		t.Errorf("legal coloring arbdefect = %d, want 0", a)
+	}
+}
+
+func TestArbdefectWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g := Gnp(40, 0.2, rng)
+	o := NewOrientation(g)
+	for _, e := range g.Edges() {
+		_ = o.Orient(e[0], e[1]) // towards larger: acyclic, arbitrary out-deg
+	}
+	// Color everything one color: witness bound = max out-degree.
+	colors := make([]int, g.N())
+	od := o.MaxOutDegree()
+	if err := g.CheckArbdefectWitness(colors, o, od); err != nil {
+		t.Errorf("witness at out-degree bound rejected: %v", err)
+	}
+	if err := g.CheckArbdefectWitness(colors, o, 0); err == nil && g.M() > 0 {
+		t.Error("witness with impossible bound accepted")
+	}
+}
+
+func TestNumColorsMaxColor(t *testing.T) {
+	c := []int{3, 1, 3, 7}
+	if NumColors(c) != 3 {
+		t.Error("NumColors wrong")
+	}
+	if MaxColor(c) != 7 {
+		t.Error("MaxColor wrong")
+	}
+	if MaxColor(nil) != -1 {
+		t.Error("MaxColor(nil) should be -1")
+	}
+}
+
+func TestCheckIndependentSetAndMIS(t *testing.T) {
+	g := Path(5)
+	mis := []bool{true, false, true, false, true}
+	if err := g.CheckMIS(mis); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	notMaximal := []bool{true, false, false, false, true}
+	if err := g.CheckIndependentSet(notMaximal); err != nil {
+		t.Errorf("valid IS rejected: %v", err)
+	}
+	if err := g.CheckMIS(notMaximal); err == nil {
+		t.Error("non-maximal set accepted as MIS")
+	}
+	notIndep := []bool{true, true, false, false, true}
+	if err := g.CheckIndependentSet(notIndep); err == nil {
+		t.Error("dependent set accepted")
+	}
+	if err := g.CheckMIS([]bool{true}); err == nil {
+		t.Error("wrong-length set accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := Gnp(30, 0.2, rng)
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"3 1\n0 0\n",
+		"3 2\n0 1\n",
+		"junk\n",
+		"3 1\n0 x\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Comments and blank lines fine.
+	if _, err := ReadEdgeList(strings.NewReader("# hi\n\n2 1\n0 1\n")); err != nil {
+		t.Errorf("comment/blank input rejected: %v", err)
+	}
+}

@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dir is the direction assigned to an edge by a (partial) orientation,
+// relative to the edge's endpoint pair (u, v) with u < v.
+type Dir int8
+
+const (
+	// Unoriented means the orientation leaves the edge undirected.
+	Unoriented Dir = iota
+	// Forward orients u -> v (towards the larger endpoint).
+	Forward
+	// Backward orients v -> u (towards the smaller endpoint).
+	Backward
+)
+
+// ErrCyclic is returned when an operation requires an acyclic orientation.
+var ErrCyclic = errors.New("graph: orientation contains a directed cycle")
+
+// Orientation is a partial orientation sigma of a graph's edge set
+// (Section 2.1 of the paper): every edge is oriented towards one endpoint
+// or left unoriented. The key parameters are its out-degree, its deficit
+// (max number of unoriented edges at a vertex) and its length (longest
+// consistently-directed path).
+type Orientation struct {
+	g    *Graph
+	dirs map[[2]int]Dir // keyed by (min,max) endpoint pair; absent = Unoriented
+}
+
+// NewOrientation returns the empty (fully unoriented) orientation of g.
+func NewOrientation(g *Graph) *Orientation {
+	return &Orientation{g: g, dirs: make(map[[2]int]Dir, g.M())}
+}
+
+// Graph returns the underlying graph.
+func (o *Orientation) Graph() *Graph { return o.g }
+
+// Orient directs the edge {u,v} from u towards v (v becomes a parent of u).
+// It returns an error if {u,v} is not an edge.
+func (o *Orientation) Orient(from, to int) error {
+	if !o.g.HasEdge(from, to) {
+		return fmt.Errorf("graph: (%d,%d) is not an edge", from, to)
+	}
+	if from < to {
+		o.dirs[[2]int{from, to}] = Forward
+	} else {
+		o.dirs[[2]int{to, from}] = Backward
+	}
+	return nil
+}
+
+// Unorient removes any direction from the edge {u,v}.
+func (o *Orientation) Unorient(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	delete(o.dirs, [2]int{u, v})
+}
+
+// DirOf returns the direction of edge {u,v} relative to (min,max) order.
+func (o *Orientation) DirOf(u, v int) Dir {
+	if u > v {
+		u, v = v, u
+	}
+	return o.dirs[[2]int{u, v}]
+}
+
+// IsParent reports whether p is a parent of c, i.e. edge {c,p} is oriented
+// from c towards p.
+func (o *Orientation) IsParent(c, p int) bool {
+	if c < p {
+		return o.dirs[[2]int{c, p}] == Forward
+	}
+	return o.dirs[[2]int{p, c}] == Backward
+}
+
+// Parents returns the parents of v (heads of v's outgoing edges), sorted.
+func (o *Orientation) Parents(v int) []int {
+	var out []int
+	for _, u := range o.g.Neighbors(v) {
+		if o.IsParent(v, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Children returns the children of v (tails of v's incoming edges), sorted.
+func (o *Orientation) Children(v int) []int {
+	var out []int
+	for _, u := range o.g.Neighbors(v) {
+		if o.IsParent(u, v) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// OutDegree returns the out-degree of v under the orientation.
+func (o *Orientation) OutDegree(v int) int {
+	d := 0
+	for _, u := range o.g.Neighbors(v) {
+		if o.IsParent(v, u) {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxOutDegree returns the out-degree of the orientation (Section 2.1).
+func (o *Orientation) MaxOutDegree() int {
+	m := 0
+	for v := 0; v < o.g.N(); v++ {
+		if d := o.OutDegree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Deficit returns the deficit of v: the number of incident unoriented edges.
+func (o *Orientation) Deficit(v int) int {
+	d := 0
+	for _, u := range o.g.Neighbors(v) {
+		if o.DirOf(v, u) == Unoriented {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxDeficit returns the deficit of the orientation (Section 2.1).
+func (o *Orientation) MaxDeficit() int {
+	m := 0
+	for v := 0; v < o.g.N(); v++ {
+		if d := o.Deficit(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsComplete reports whether every edge is oriented.
+func (o *Orientation) IsComplete() bool {
+	return len(o.dirs) == o.g.M() && o.MaxDeficit() == 0
+}
+
+// Lengths returns len_sigma(v) for every vertex: the length of the longest
+// directed path emanating from v, following edges oriented away from v
+// (child -> parent direction). Returns ErrCyclic if the oriented part has a
+// directed cycle.
+func (o *Orientation) Lengths() ([]int, error) {
+	n := o.g.N()
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int8, n)
+	lens := make([]int, n)
+
+	// Iterative DFS with explicit stack to avoid recursion depth limits.
+	type frame struct {
+		v       int
+		parents []int
+		next    int
+	}
+	for s := 0; s < n; s++ {
+		if state[s] != unvisited {
+			continue
+		}
+		stack := []frame{{v: s, parents: o.Parents(s)}}
+		state[s] = inStack
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.parents) {
+				p := f.parents[f.next]
+				f.next++
+				switch state[p] {
+				case inStack:
+					return nil, ErrCyclic
+				case unvisited:
+					state[p] = inStack
+					stack = append(stack, frame{v: p, parents: o.Parents(p)})
+				case done:
+					if lens[p]+1 > lens[f.v] {
+						lens[f.v] = lens[p] + 1
+					}
+				}
+				continue
+			}
+			// All parents resolved; fold into our own length and pop.
+			for _, p := range f.parents {
+				if lens[p]+1 > lens[f.v] {
+					lens[f.v] = lens[p] + 1
+				}
+			}
+			state[f.v] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return lens, nil
+}
+
+// Length returns len(sigma), the maximum vertex length (Section 2.1),
+// or ErrCyclic if the orientation is not acyclic.
+func (o *Orientation) Length() (int, error) {
+	lens, err := o.Lengths()
+	if err != nil {
+		return 0, err
+	}
+	m := 0
+	for _, l := range lens {
+		if l > m {
+			m = l
+		}
+	}
+	return m, nil
+}
+
+// IsAcyclic reports whether the oriented part of the graph is a DAG.
+func (o *Orientation) IsAcyclic() bool {
+	_, err := o.Lengths()
+	return err == nil
+}
+
+// TopologicalOrder returns a topological order of the vertices with respect
+// to the oriented edges (children before parents), or ErrCyclic.
+func (o *Orientation) TopologicalOrder() ([]int, error) {
+	lens, err := o.Lengths()
+	if err != nil {
+		return nil, err
+	}
+	// Sorting by len(v) descending is NOT a topological order; instead sort
+	// ascending by len: a child has len >= parent's len + 1, so parents have
+	// strictly smaller len and must come later. Children-first order = sort
+	// by len ascending puts parents (small len) first - wrong direction.
+	// We want children before parents: children have larger len, so sort by
+	// len descending.
+	n := o.g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort by length, descending.
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	buckets := make([][]int, maxLen+1)
+	for v, l := range lens {
+		buckets[l] = append(buckets[l], v)
+	}
+	order = order[:0]
+	for l := maxLen; l >= 0; l-- {
+		order = append(order, buckets[l]...)
+	}
+	return order, nil
+}
+
+// Complete returns a new complete acyclic orientation that agrees with o on
+// all oriented edges, directing each unoriented edge towards the endpoint
+// that appears later in a topological sort of the oriented part
+// (Lemma 3.1 of the paper). Returns ErrCyclic if o is not acyclic.
+func (o *Orientation) Complete() (*Orientation, error) {
+	lens, err := o.Lengths()
+	if err != nil {
+		return nil, err
+	}
+	// Position in topological order: children (larger len) earlier. For the
+	// unoriented edge (w,z), orient towards the endpoint later in the order,
+	// i.e. towards the smaller len; ties broken by vertex index, matching a
+	// fixed topological sort.
+	out := NewOrientation(o.g)
+	for e, d := range o.dirs {
+		if d != Unoriented {
+			out.dirs[e] = d
+		}
+	}
+	for _, e := range o.g.Edges() {
+		u, v := e[0], e[1]
+		if o.DirOf(u, v) != Unoriented {
+			continue
+		}
+		// Later in topological order = smaller length; tie-break on larger
+		// index (consistent with sorting (len desc, index asc)).
+		towardsV := lens[v] < lens[u] || (lens[v] == lens[u] && v > u)
+		if towardsV {
+			out.dirs[[2]int{u, v}] = Forward
+		} else {
+			out.dirs[[2]int{u, v}] = Backward
+		}
+	}
+	return out, nil
+}
+
+// InducedOn returns the orientation induced on a subgraph sub, where
+// origOf maps sub's vertices to o's vertices (as returned by
+// Graph.InducedSubgraph). Edges of sub inherit their direction from o.
+func (o *Orientation) InducedOn(sub *Graph, origOf []int) *Orientation {
+	out := NewOrientation(sub)
+	for _, e := range sub.Edges() {
+		u, v := origOf[e[0]], origOf[e[1]]
+		switch {
+		case o.IsParent(u, v):
+			_ = out.Orient(e[0], e[1])
+		case o.IsParent(v, u):
+			_ = out.Orient(e[1], e[0])
+		}
+	}
+	return out
+}

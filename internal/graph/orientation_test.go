@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func buildPathOrientation(t *testing.T, n int) (*Graph, *Orientation) {
+	t.Helper()
+	g := Path(n)
+	o := NewOrientation(g)
+	for v := 0; v+1 < n; v++ {
+		if err := o.Orient(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, o
+}
+
+func TestOrientationBasics(t *testing.T) {
+	g, o := buildPathOrientation(t, 5)
+	_ = g
+	if !o.IsParent(0, 1) || o.IsParent(1, 0) {
+		t.Error("parent relation wrong")
+	}
+	if got := o.Parents(2); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Parents(2) = %v", got)
+	}
+	if got := o.Children(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Children(2) = %v", got)
+	}
+	if o.OutDegree(0) != 1 || o.OutDegree(4) != 0 {
+		t.Error("out-degrees wrong")
+	}
+	if o.MaxOutDegree() != 1 {
+		t.Error("max out-degree wrong")
+	}
+	if !o.IsComplete() {
+		t.Error("fully oriented path should be complete")
+	}
+	l, err := o.Length()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 4 {
+		t.Errorf("Length = %d, want 4", l)
+	}
+}
+
+func TestOrientErrorsOnNonEdge(t *testing.T) {
+	g := Path(3)
+	o := NewOrientation(g)
+	if err := o.Orient(0, 2); err == nil {
+		t.Error("orienting non-edge succeeded")
+	}
+}
+
+func TestUnorientAndDeficit(t *testing.T) {
+	_, o := buildPathOrientation(t, 4)
+	o.Unorient(1, 2)
+	if o.DirOf(1, 2) != Unoriented {
+		t.Error("edge still oriented after Unorient")
+	}
+	if o.Deficit(1) != 1 || o.Deficit(2) != 1 || o.Deficit(0) != 0 {
+		t.Error("deficits wrong")
+	}
+	if o.MaxDeficit() != 1 {
+		t.Error("max deficit wrong")
+	}
+	if o.IsComplete() {
+		t.Error("orientation with unoriented edge is complete")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	cyc, err := Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrientation(cyc)
+	for v := 0; v < 4; v++ {
+		if err := o.Orient(v, (v+1)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.IsAcyclic() {
+		t.Error("directed 4-cycle reported acyclic")
+	}
+	if _, err := o.Length(); !errors.Is(err, ErrCyclic) {
+		t.Errorf("Length error = %v, want ErrCyclic", err)
+	}
+	if _, err := o.Complete(); !errors.Is(err, ErrCyclic) {
+		t.Errorf("Complete error = %v, want ErrCyclic", err)
+	}
+}
+
+func TestLengthsOnDAG(t *testing.T) {
+	// Diamond: 0->1, 0->2, 1->3, 2->3.
+	g, _ := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	o := NewOrientation(g)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := o.Orient(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lens, err := o.Lengths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 1, 0}
+	for v, w := range want {
+		if lens[v] != w {
+			t.Errorf("len(%d) = %d, want %d", v, lens[v], w)
+		}
+	}
+}
+
+func TestTopologicalOrderChildrenFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	g := Gnp(50, 0.1, rng)
+	o := NewOrientation(g)
+	// Orient every edge towards the larger index: acyclic.
+	for _, e := range g.Edges() {
+		if err := o.Orient(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order, err := o.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		// e[0] -> e[1], so child e[0] must come before parent e[1].
+		if pos[e[0]] > pos[e[1]] {
+			t.Fatalf("edge %v: child after parent in topological order", e)
+		}
+	}
+}
+
+func TestCompletePreservesAndIsAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := Gnp(40, 0.15, rng)
+		o := NewOrientation(g)
+		// Orient a random subset of edges towards the larger endpoint
+		// (always acyclic), leave the rest unoriented.
+		for _, e := range g.Edges() {
+			if rng.Intn(2) == 0 {
+				if err := o.Orient(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c, err := o.Complete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsComplete() {
+			t.Fatal("Complete() returned incomplete orientation")
+		}
+		if !c.IsAcyclic() {
+			t.Fatal("Complete() returned cyclic orientation (Lemma 3.1 violated)")
+		}
+		// Originally oriented edges must keep their direction.
+		for _, e := range g.Edges() {
+			if d := o.DirOf(e[0], e[1]); d != Unoriented && c.DirOf(e[0], e[1]) != d {
+				t.Fatalf("Complete() changed direction of edge %v", e)
+			}
+		}
+	}
+}
+
+func TestCompletionOutDegreeBound(t *testing.T) {
+	// Out-degree of completion <= original out-degree + deficit, per vertex.
+	rng := rand.New(rand.NewSource(22))
+	g := Gnp(40, 0.2, rng)
+	o := NewOrientation(g)
+	for _, e := range g.Edges() {
+		if rng.Intn(3) > 0 {
+			_ = o.Orient(e[0], e[1])
+		}
+	}
+	c, err := o.Complete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if c.OutDegree(v) > o.OutDegree(v)+o.Deficit(v) {
+			t.Fatalf("vertex %d: completed out-degree %d > %d + %d",
+				v, c.OutDegree(v), o.OutDegree(v), o.Deficit(v))
+		}
+	}
+}
+
+func TestInducedOrientation(t *testing.T) {
+	g, _ := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	o := NewOrientation(g)
+	_ = o.Orient(0, 1)
+	_ = o.Orient(2, 1)
+	_ = o.Orient(2, 3)
+	sub, orig, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := o.InducedOn(sub, orig)
+	// In sub: vertices 0,1,2 map to 1,2,3. Edge (0,1)=orig(1,2) oriented 2->1
+	// so sub 1->0; edge (1,2)=orig(2,3) oriented 2->3 so sub 1->2.
+	if !so.IsParent(1, 0) {
+		t.Error("induced orientation lost 2->1")
+	}
+	if !so.IsParent(1, 2) {
+		t.Error("induced orientation lost 2->3")
+	}
+	if so.OutDegree(1) != 2 {
+		t.Error("induced out-degree wrong")
+	}
+}
+
+func TestLengthDeepPathNoStackOverflow(t *testing.T) {
+	// 200k-vertex directed path: iterative DFS must handle it.
+	n := 200000
+	_, o := buildPathOrientation(t, n)
+	l, err := o.Length()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != n-1 {
+		t.Fatalf("Length = %d, want %d", l, n-1)
+	}
+}

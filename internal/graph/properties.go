@@ -1,0 +1,126 @@
+package graph
+
+import "math"
+
+// Degeneracy returns the degeneracy d of the graph together with a
+// degeneracy ordering (an ordering in which every vertex has at most d
+// neighbors appearing later). Computed by the standard smallest-last
+// peeling in O(n + m).
+//
+// Degeneracy brackets arboricity: a(G) <= degeneracy(G) <= 2*a(G) - 1
+// (for graphs with at least one edge), so it is the workhorse for
+// verifying arbdefective colorings without solving matroid union.
+func (g *Graph) Degeneracy() (d int, order []int) {
+	n := g.n
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.adj[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue over current degrees.
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > d {
+			d = cur
+		}
+		for _, u := range g.adj[v] {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+		}
+	}
+	return d, order
+}
+
+// ArboricityUpperBound returns degeneracy(G), an upper bound on a(G).
+func (g *Graph) ArboricityUpperBound() int {
+	d, _ := g.Degeneracy()
+	return d
+}
+
+// ArboricityLowerBound returns ceil(m / (n-1)) for the whole graph
+// (the Nash-Williams density bound applied to the trivial subgraph),
+// and at least ceil((degeneracy+1)/2), both valid lower bounds on a(G).
+func (g *Graph) ArboricityLowerBound() int {
+	lb := 0
+	if g.n >= 2 {
+		lb = (g.m + g.n - 2) / (g.n - 1) // ceil(m/(n-1))
+	}
+	d, _ := g.Degeneracy()
+	if dl := (d + 1) / 2; dl > lb {
+		lb = dl
+	}
+	if g.m > 0 && lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
+// GreedyColorByOrder colors vertices greedily in the given order, each
+// vertex taking the smallest color (0-based) unused by already-colored
+// neighbors. With a reverse degeneracy ordering it uses at most
+// degeneracy+1 colors. This is the centralized reference used by tests
+// and by the MIS/coloring verifiers.
+func (g *Graph) GreedyColorByOrder(order []int) []int {
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	taken := make(map[int]struct{})
+	for _, v := range order {
+		clear(taken)
+		for _, u := range g.adj[v] {
+			if colors[u] >= 0 {
+				taken[colors[u]] = struct{}{}
+			}
+		}
+		c := 0
+		for {
+			if _, used := taken[c]; !used {
+				break
+			}
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// LogStar returns log* n: the number of times log2 must be iterated,
+// starting from n, before the value drops to at most 2.
+func LogStar(n int) int {
+	count := 0
+	x := float64(n)
+	for x > 2 {
+		x = math.Log2(x)
+		count++
+	}
+	return count
+}

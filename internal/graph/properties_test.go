@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", Path(10), 1},
+		{"star", Star(10), 1},
+		{"grid", Grid(5, 5), 2},
+		{"complete", Complete(6), 5},
+		{"bipartite", CompleteBipartite(3, 7), 3},
+		{"empty", NewBuilder(5).Build(), 0},
+	}
+	cyc, err := Cycle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests = append(tests, struct {
+		name string
+		g    *Graph
+		want int
+	}{"cycle", cyc, 2})
+	for _, tc := range tests {
+		if d, _ := tc.g.Degeneracy(); d != tc.want {
+			t.Errorf("%s: degeneracy = %d, want %d", tc.name, d, tc.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderingProperty(t *testing.T) {
+	// Each vertex must have at most d neighbors later in the order.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		g := Gnp(80, 0.1, rng)
+		d, order := g.Degeneracy()
+		if len(order) != g.N() {
+			t.Fatalf("order has %d entries", len(order))
+		}
+		pos := make([]int, g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < g.N(); v++ {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if pos[u] > pos[v] {
+					later++
+				}
+			}
+			if later > d {
+				t.Fatalf("vertex %d has %d later neighbors, degeneracy %d", v, later, d)
+			}
+		}
+	}
+}
+
+func TestArboricityBoundsBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := Gnp(60, 0.15, rng)
+		lb, ub := g.ArboricityLowerBound(), g.ArboricityUpperBound()
+		if lb > ub {
+			t.Fatalf("lower bound %d > upper bound %d", lb, ub)
+		}
+		// degeneracy <= 2a-1 and a <= degeneracy imply ub <= 2*lb'... we can
+		// only check consistency: ub >= lb and ub <= 2*ub trivial; check
+		// Nash-Williams density against degeneracy: ceil(m/(n-1)) <= ub.
+		if g.N() >= 2 {
+			density := (g.M() + g.N() - 2) / (g.N() - 1)
+			if density > ub {
+				t.Fatalf("density bound %d exceeds degeneracy %d", density, ub)
+			}
+		}
+	}
+}
+
+func TestGreedyColorByOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := Gnp(100, 0.1, rng)
+	d, order := g.Degeneracy()
+	// Reverse degeneracy ordering: color in reverse peel order.
+	rev := make([]int, len(order))
+	for i, v := range order {
+		rev[len(order)-1-i] = v
+	}
+	colors := g.GreedyColorByOrder(rev)
+	if err := g.CheckLegalColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if mc := MaxColor(colors); mc > d {
+		t.Errorf("greedy used max color %d > degeneracy %d", mc, d)
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {65536, 3}, {65537, 4}, {1 << 30, 4},
+	}
+	for _, tc := range tests {
+		if got := LogStar(tc.n); got != tc.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestDegeneracyMonotoneQuick(t *testing.T) {
+	// Property: adding edges never decreases degeneracy.
+	rng := rand.New(rand.NewSource(13))
+	prop := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		g := Gnp(30, 0.1, r)
+		d1, _ := g.Degeneracy()
+		// add 5 random edges
+		b := NewBuilder(g.N())
+		for _, e := range g.Edges() {
+			_ = b.AddEdge(e[0], e[1])
+		}
+		for i := 0; i < 5; i++ {
+			u, v := r.Intn(30), r.Intn(30)
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		d2, _ := b.Build().Degeneracy()
+		return d2 >= d1
+	}
+	_ = rng
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

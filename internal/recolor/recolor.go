@@ -1,0 +1,241 @@
+package recolor
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/field"
+	"repro/internal/graph"
+)
+
+// Input is the per-node input for the recoloring algorithm. All nodes of
+// the same (sub)graph must receive identical M0, DegBound and TargetDefect
+// so they derive identical schedules and run in lockstep.
+type Input struct {
+	// Color is the node's initial color in [0, M0); a negative value means
+	// "use ID-1" (the trivial legal n-coloring from identifiers).
+	Color int
+	// M0 is the size of the initial color space (n when starting from IDs).
+	M0 int
+	// DegBound bounds the number of conflict neighbors of every node:
+	// the maximum degree for the defective variant, the maximum out-degree
+	// of the orientation for the arbdefective variant.
+	DegBound int
+	// TargetDefect is the final defect d (0 for a legal coloring).
+	TargetDefect int
+	// ParentPort, when non-nil, flags which visible ports lead to parents;
+	// only parents then count as conflict neighbors (Arb-Kuhn, Section 5).
+	// When nil, every neighbor is a conflict neighbor (Linial/Kuhn).
+	ParentPort []bool
+}
+
+// Algo is the dist.Algorithm executing a recoloring schedule. The zero
+// value is ready to use; it is stateless (per-node state lives in the Node).
+type Algo struct{}
+
+type nodeState struct {
+	plan  Schedule
+	color int
+	step  int
+}
+
+// Init derives the node's schedule from its Input and sends the initial
+// color when at least one step is required.
+func (Algo) Init(n *dist.Node) {
+	in, ok := n.Input.(Input)
+	if !ok {
+		// Defensive default: trivial ID coloring with no recoloring.
+		n.Output = n.ID() - 1
+		n.Halt()
+		return
+	}
+	color := in.Color
+	if color < 0 {
+		color = n.ID() - 1
+	}
+	st := &nodeState{
+		plan:  Plan(in.M0, in.DegBound, in.TargetDefect),
+		color: color,
+	}
+	if in.TargetDefect >= in.DegBound {
+		// A single color class already satisfies the defect bound.
+		n.Output = 0
+		n.Halt()
+		return
+	}
+	n.State = st
+	if len(st.plan.Steps) == 0 {
+		n.Output = color
+		n.Halt()
+		return
+	}
+	n.SendAll(color)
+}
+
+// Step executes one recoloring round.
+func (Algo) Step(n *dist.Node, inbox []dist.Message) {
+	st := n.State.(*nodeState)
+	in := n.Input.(Input)
+	plan := st.plan.Steps[st.step]
+
+	// Gather conflict-neighbor colors.
+	conflicts := make([]int, 0, len(inbox))
+	for p, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if in.ParentPort != nil && (p >= len(in.ParentPort) || !in.ParentPort[p]) {
+			continue
+		}
+		conflicts = append(conflicts, m.(int))
+	}
+
+	st.color = recolorOnce(plan, st.color, conflicts)
+	st.step++
+	if st.step < len(st.plan.Steps) {
+		n.SendAll(st.color)
+		return
+	}
+	n.Output = st.color
+	n.Halt()
+}
+
+// recolorOnce applies one Step: pick alpha minimizing agreements with
+// differently-colored conflict neighbors and return alpha*q + phi_x(alpha).
+func recolorOnce(step Step, x int, conflictColors []int) int {
+	fam, err := field.NewFamily(step.Q, step.D)
+	if err != nil {
+		// Unreachable: schedules only contain prime moduli (Validate).
+		panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
+	}
+	q := step.Q
+	myRow := fam.Row(x)
+	agrees := make([]int, q)
+	// Deduplicate conflict colors: agreement counts are per neighbor, so we
+	// must weight by multiplicity; cache rows per distinct color.
+	rows := make(map[int][]int, len(conflictColors))
+	for _, y := range conflictColors {
+		if y == x {
+			continue // same-colored neighbors carry over (Appendix B)
+		}
+		row, ok := rows[y]
+		if !ok {
+			row = fam.Row(y)
+			rows[y] = row
+		}
+		for alpha := 0; alpha < q; alpha++ {
+			if row[alpha] == myRow[alpha] {
+				agrees[alpha]++
+			}
+		}
+	}
+	bestAlpha := 0
+	for alpha := 1; alpha < q; alpha++ {
+		if agrees[alpha] < agrees[bestAlpha] {
+			bestAlpha = alpha
+		}
+	}
+	return bestAlpha*q + myRow[bestAlpha]
+}
+
+// Result reports a whole-graph recoloring run.
+type Result struct {
+	Colors   []int
+	Schedule Schedule
+	Rounds   int
+	Messages int64
+}
+
+// run executes the algorithm with uniform inputs on all (active) vertices.
+func run(net *dist.Network, in Input, parentPorts [][]bool) (Result, error) {
+	n := net.Graph().N()
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		iv := in
+		if parentPorts != nil {
+			iv.ParentPort = parentPorts[v]
+		}
+		inputs[v] = iv
+	}
+	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs})
+	if err != nil {
+		return Result{}, err
+	}
+	colors, err := dist.IntOutputs(res, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Colors:   colors,
+		Schedule: Plan(in.M0, in.DegBound, in.TargetDefect),
+		Rounds:   res.Rounds,
+		Messages: res.Messages,
+	}, nil
+}
+
+// Linial computes a legal O(Delta^2)-coloring in O(log* n) rounds
+// (Linial FOCS'87, the paper's baseline and Lemma 2.1 ancestor).
+func Linial(net *dist.Network) (Result, error) {
+	g := net.Graph()
+	return run(net, Input{
+		Color:        -1,
+		M0:           g.N(),
+		DegBound:     g.MaxDegree(),
+		TargetDefect: 0,
+	}, nil)
+}
+
+// Defective computes a floor(Delta/p)-defective O(p^2)-coloring in
+// O(log* n) rounds (Lemma 2.1 / Kuhn SPAA'09). p must be positive.
+func Defective(net *dist.Network, p int) (Result, error) {
+	if p <= 0 {
+		return Result{}, fmt.Errorf("recolor: p must be positive, got %d", p)
+	}
+	g := net.Graph()
+	delta := g.MaxDegree()
+	return run(net, Input{
+		Color:        -1,
+		M0:           g.N(),
+		DegBound:     delta,
+		TargetDefect: delta / p,
+	}, nil)
+}
+
+// ArbKuhn computes a d-arbdefective O((A/d)^2)-coloring, where A is the
+// maximum out-degree of the given complete acyclic orientation (Section 5,
+// Algorithm Arb-Kuhn). Each color class, with edges oriented as in sigma,
+// has out-degree at most d, certifying arboricity at most d (Lemma 2.5).
+// The orientation itself is typically produced by Lemma 2.4 in O(log n)
+// rounds; this routine adds only O(log* n) rounds.
+func ArbKuhn(net *dist.Network, sigma *graph.Orientation, d int) (Result, error) {
+	if d < 0 {
+		return Result{}, fmt.Errorf("recolor: negative arbdefect target %d", d)
+	}
+	g := net.Graph()
+	if sigma.Graph() != g {
+		return Result{}, fmt.Errorf("recolor: orientation is over a different graph")
+	}
+	parentPorts := ParentPortFlags(g, sigma)
+	return run(net, Input{
+		Color:        -1,
+		M0:           g.N(),
+		DegBound:     sigma.MaxOutDegree(),
+		TargetDefect: d,
+	}, parentPorts)
+}
+
+// ParentPortFlags encodes, for each vertex, which of its ports lead to
+// parents under sigma. This is the distributed knowledge each node holds
+// after an orientation has been computed.
+func ParentPortFlags(g *graph.Graph, sigma *graph.Orientation) [][]bool {
+	out := make([][]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		flags := make([]bool, len(nbrs))
+		for p, u := range nbrs {
+			flags[p] = sigma.IsParent(v, u)
+		}
+		out[v] = flags
+	}
+	return out
+}

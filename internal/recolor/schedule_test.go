@@ -1,0 +1,151 @@
+package recolor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPlanValidatesAcrossSweep(t *testing.T) {
+	for _, m0 := range []int{1, 2, 10, 100, 1000, 100000, 10000000} {
+		for _, deg := range []int{0, 1, 2, 5, 17, 100, 999} {
+			for _, d := range []int{0, 1, 2, deg / 4, deg / 2, deg, deg + 5} {
+				if d < 0 {
+					continue
+				}
+				s := Plan(m0, deg, d)
+				if err := s.Validate(); err != nil {
+					t.Errorf("Plan(%d,%d,%d) invalid: %v", m0, deg, d, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanLinialColorBound(t *testing.T) {
+	// Target defect 0: terminal colors must be O(Delta^2); empirically the
+	// planner stays below 8*Delta^2 + 1 across the measured range.
+	for _, m0 := range []int{100, 10000, 1000000, 1 << 40} {
+		for _, deg := range []int{1, 2, 3, 5, 10, 31, 100, 500} {
+			s := Plan(m0, deg, 0)
+			fc := s.FinalColors()
+			bound := 8*deg*deg + 1
+			if m0 < bound {
+				bound = m0 // cannot do worse than the input coloring
+			}
+			if fc > bound {
+				t.Errorf("Plan(%d,%d,0) final colors %d > %d", m0, deg, fc, bound)
+			}
+		}
+	}
+}
+
+func TestPlanLinialRoundBound(t *testing.T) {
+	for _, m0 := range []int{16, 1024, 1 << 20, 1 << 40, 1 << 60} {
+		for _, deg := range []int{2, 10, 100} {
+			s := Plan(m0, deg, 0)
+			if got, limit := s.Rounds(), graph.LogStar(m0)+2; got > limit {
+				t.Errorf("Plan(%d,%d,0) rounds %d > log*+2 = %d", m0, deg, got, limit)
+			}
+		}
+	}
+}
+
+func TestPlanDefectiveColorBound(t *testing.T) {
+	// Lemma 2.1 shape: floor(Delta/p)-defective coloring with O(p^2)
+	// colors; the planner stays below 16*p^2 + 26 empirically.
+	for _, m0 := range []int{1000, 1000000} {
+		for _, deg := range []int{16, 100, 1000} {
+			for _, p := range []int{1, 2, 3, 5, 8, 16, 32} {
+				s := Plan(m0, deg, deg/p)
+				fc := s.FinalColors()
+				if bound := 16*p*p + 26; fc > bound {
+					t.Errorf("Plan(%d,%d,%d/%d) final colors %d > %d", m0, deg, deg, p, fc, bound)
+				}
+				if limit := graph.LogStar(m0) + 2; s.Rounds() > limit {
+					t.Errorf("Plan(%d,%d,%d/%d) rounds %d > %d", m0, deg, deg, p, s.Rounds(), limit)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanTrivialCases(t *testing.T) {
+	// Defect budget >= degree bound: a single color suffices, zero rounds.
+	s := Plan(1000, 10, 10)
+	if s.Rounds() != 0 || s.FinalColors() != 1 {
+		t.Errorf("saturating budget: rounds=%d colors=%d, want 0/1", s.Rounds(), s.FinalColors())
+	}
+	// Degenerate graph (degree bound 0).
+	s = Plan(1000, 0, 0)
+	if s.FinalColors() != 1 {
+		t.Errorf("isolated vertices: colors=%d, want 1", s.FinalColors())
+	}
+	// Tiny color space: nothing to do.
+	s = Plan(2, 5, 0)
+	if s.Rounds() != 0 || s.FinalColors() != 2 {
+		t.Errorf("m0=2: rounds=%d colors=%d, want 0/2", s.Rounds(), s.FinalColors())
+	}
+}
+
+func TestPlanMonotoneProgress(t *testing.T) {
+	// Every step strictly decreases the color count and never decreases
+	// the cumulative defect.
+	s := Plan(1<<40, 200, 40)
+	m := s.M0
+	d := 0
+	for i, st := range s.Steps {
+		if st.Q*st.Q >= m {
+			t.Fatalf("step %d does not reduce colors: %d -> %d", i, m, st.Q*st.Q)
+		}
+		if st.DefectOut < d {
+			t.Fatalf("step %d decreases defect: %d -> %d", i, d, st.DefectOut)
+		}
+		m = st.Q * st.Q
+		d = st.DefectOut
+	}
+	if d > s.TargetDefect {
+		t.Fatalf("final defect %d exceeds target %d", d, s.TargetDefect)
+	}
+}
+
+func TestPlanQuickValidity(t *testing.T) {
+	prop := func(m0u, degu, du uint16) bool {
+		m0 := int(m0u)%100000 + 1
+		deg := int(degu) % 2000
+		d := 0
+		if deg > 0 {
+			d = int(du) % (deg + 1)
+		}
+		s := Plan(m0, deg, d)
+		return s.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRootCeil(t *testing.T) {
+	tests := []struct{ m, e, want int }{
+		{8, 3, 2}, {9, 3, 3}, {27, 3, 3}, {28, 3, 4}, {1, 5, 2},
+		{1000000, 2, 1000}, {1000001, 2, 1001}, {1 << 40, 4, 1 << 10},
+	}
+	for _, tc := range tests {
+		if got := intRootCeil(tc.m, tc.e); got != tc.want {
+			t.Errorf("intRootCeil(%d,%d) = %d, want %d", tc.m, tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestPowAtLeast(t *testing.T) {
+	if !powAtLeast(2, 10, 1024) {
+		t.Error("2^10 >= 1024 should hold")
+	}
+	if powAtLeast(2, 10, 1025) {
+		t.Error("2^10 >= 1025 should not hold")
+	}
+	if !powAtLeast(3, 40, 1<<61) {
+		t.Error("3^40 overflow-safe comparison failed")
+	}
+}

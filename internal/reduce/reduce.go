@@ -1,0 +1,206 @@
+// Package reduce implements batched color reduction in the style of
+// Kuhn-Wattenhofer: a legal m-coloring of a graph with maximum degree
+// Delta < t is transformed into a legal t-coloring in O(t * log(m/t))
+// rounds, by splitting the color space into groups of 2t colors, folding
+// the upper half of each group into the lower half one color class at a
+// time (a color class is an independent set, so it recolors in a single
+// round), and renumbering between phases. This is the standard reduction
+// used by the linear-in-Delta coloring algorithms [5, 17] that the paper
+// builds on.
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Input is the per-node input: the node's current color and the globally
+// known parameters (m, t). All nodes of a labelled class must agree on m
+// and t so the phase plan is derived identically everywhere.
+type Input struct {
+	Color  int
+	M      int // current number of colors (color values lie in [0, M))
+	Target int // t: final palette size; must exceed every visible degree
+}
+
+// makePlan returns the number of fold rounds per phase derived from (m, t):
+// each phase folds offsets [t, t+folds) of every 2t-sized group into the
+// low half, then renumbers, roughly halving m.
+func makePlan(m, t int) []int {
+	var phases []int
+	for m > t {
+		span := 2 * t
+		if m < span {
+			span = m
+		}
+		phases = append(phases, span-t)
+		m = (m + 2*t - 1) / (2 * t) * t
+	}
+	return phases
+}
+
+// Rounds returns the total communication rounds the reduction costs,
+// including the initial neighbor-color exchange.
+func Rounds(m, t int) int {
+	if m <= t {
+		return 0
+	}
+	total := 1
+	for _, f := range makePlan(m, t) {
+		total += f
+	}
+	return total
+}
+
+type state struct {
+	color     int
+	nbrColors []int // current neighbor colors by port (-1 unknown)
+	phases    []int
+	phase     int
+	fold      int // folds completed within the current phase
+}
+
+// Algo is the dist.Algorithm performing the reduction.
+type Algo struct{}
+
+func (Algo) Init(n *dist.Node) {
+	in, ok := n.Input.(Input)
+	if !ok {
+		n.Output = fmt.Errorf("reduce: bad input %T", n.Input)
+		n.Halt()
+		return
+	}
+	if in.M <= in.Target {
+		n.Output = in.Color
+		n.Halt()
+		return
+	}
+	st := &state{
+		color:     in.Color,
+		nbrColors: make([]int, n.Degree()),
+		phases:    makePlan(in.M, in.Target),
+	}
+	for i := range st.nbrColors {
+		st.nbrColors[i] = -1
+	}
+	n.State = st
+	n.SendAll(st.color)
+}
+
+func (Algo) Step(n *dist.Node, inbox []dist.Message) {
+	in := n.Input.(Input)
+	st := n.State.(*state)
+	t := in.Target
+
+	// Record neighbor color announcements (always in the numbering of the
+	// current phase; see the send ordering below).
+	for p, m := range inbox {
+		if m != nil {
+			st.nbrColors[p] = m.(int)
+		}
+	}
+	if n.Round() == 1 {
+		return // initial exchange round; folding starts next round
+	}
+
+	// Fold round: recolor the color class with in-group offset j.
+	folds := st.phases[st.phase]
+	j := t + folds - 1 - st.fold
+	recolored := false
+	if st.color%(2*t) == j {
+		lo := st.color / (2 * t) * (2 * t)
+		taken := make([]bool, t)
+		for _, c := range st.nbrColors {
+			if c >= lo && c < lo+t {
+				taken[c-lo] = true
+			}
+		}
+		newColor := -1
+		for c := 0; c < t; c++ {
+			if !taken[c] {
+				newColor = lo + c
+				break
+			}
+		}
+		if newColor < 0 {
+			n.Output = fmt.Errorf("reduce: no free color (visible degree exceeds target-1)")
+			n.Halt()
+			return
+		}
+		st.color = newColor
+		recolored = true
+	}
+
+	st.fold++
+	if st.fold == st.phases[st.phase] {
+		// Phase complete: renumber c -> (c/2t)*t + (c mod 2t). All in-group
+		// offsets are now < t, so the mapping is injective and every node
+		// applies it locally to its own color and its neighbor table.
+		renumber := func(c int) int {
+			if c < 0 {
+				return c
+			}
+			return c/(2*t)*t + c%(2*t)
+		}
+		st.color = renumber(st.color)
+		for i, c := range st.nbrColors {
+			st.nbrColors[i] = renumber(c)
+		}
+		st.phase++
+		st.fold = 0
+	}
+	if recolored {
+		// Announce after any renumbering so receivers (who renumber their
+		// tables in the same round) record a consistently-numbered value.
+		n.SendAll(st.color)
+	}
+	if st.phase == len(st.phases) {
+		n.Output = st.color
+		n.Halt()
+	}
+}
+
+// Result reports a reduction run.
+type Result struct {
+	Colors   []int
+	Rounds   int
+	Messages int64
+}
+
+// KW reduces a legal m-coloring to a legal target-coloring within each
+// label class (labels/active may be nil for the whole graph). target must
+// exceed the maximum visible degree. Costs O(target * log(m/target))
+// rounds.
+func KW(net *dist.Network, colors []int, m, target int, labels []int, active []bool) (*Result, error) {
+	g := net.Graph()
+	n := g.N()
+	if len(colors) != n {
+		return nil, fmt.Errorf("reduce: %d colors for %d vertices", len(colors), n)
+	}
+	if target < 1 {
+		return nil, fmt.Errorf("reduce: target %d < 1", target)
+	}
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		inputs[v] = Input{Color: colors[v], M: m, Target: target}
+	}
+	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for v, o := range res.Outputs {
+		switch x := o.(type) {
+		case int:
+			out[v] = x
+		case error:
+			return nil, fmt.Errorf("reduce: vertex %d: %w", v, x)
+		case nil:
+			out[v] = 0
+		default:
+			return nil, fmt.Errorf("reduce: vertex %d unexpected output %T", v, o)
+		}
+	}
+	return &Result{Colors: out, Rounds: res.Rounds, Messages: res.Messages}, nil
+}
