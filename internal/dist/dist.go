@@ -1,0 +1,362 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ErrMaxRounds is returned (wrapped) by Run when nodes are still running
+// after RunOptions.MaxRounds rounds. Callers that probe for a property -
+// e.g. the H-partition testing an arboricity guess - detect the overrun
+// with errors.Is.
+var ErrMaxRounds = errors.New("dist: round budget exhausted")
+
+// defaultMaxRounds caps runs that set no explicit budget, so a buggy
+// vertex program deadlocks the simulation instead of the process. Every
+// legitimate run in this repository finishes orders of magnitude earlier.
+const defaultMaxRounds = 1 << 20
+
+// Message is the unit of communication. Any non-nil value can be sent;
+// nil marks a silent port in inboxes.
+type Message = any
+
+// Algorithm is a vertex program. Init runs once per node at round 0 and
+// typically stores per-node state in Node.State and sends opening
+// messages. Step runs once per round on every node that has not halted;
+// inbox[p] holds the message the neighbor on visible port p sent in the
+// previous round, or nil if it sent nothing. The inbox slice is reused by
+// the engine and must not be retained across calls.
+type Algorithm interface {
+	Init(n *Node)
+	Step(n *Node, inbox []Message)
+}
+
+// RunOptions configures a single Run.
+type RunOptions struct {
+	// Inputs holds per-vertex inputs, exposed as Node.Input (nil = no
+	// inputs). Length must be the vertex count when non-nil.
+	Inputs []any
+	// Labels restricts communication to the label-induced subgraphs: only
+	// same-label neighbors are visible (nil = one subgraph).
+	Labels []int
+	// Active masks the run to a vertex subset: inactive vertices do not
+	// run at all, are invisible to their neighbors, and report a nil
+	// Output (nil = all active).
+	Active []bool
+	// MaxRounds bounds the number of Step rounds; exceeding it aborts the
+	// run with ErrMaxRounds. Zero means the (very large) engine default.
+	MaxRounds int
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Outputs holds each vertex's Node.Output (nil for inactive vertices).
+	Outputs []any
+	// Rounds is the number of Step rounds executed - the LOCAL running
+	// time. A run in which every node halts during Init costs 0 rounds.
+	Rounds int
+	// Messages is the total number of messages sent.
+	Messages int64
+}
+
+// Node is the per-vertex view an Algorithm operates on. Input, State and
+// Output are the program-visible slots; everything else is engine state.
+type Node struct {
+	// Input is the per-vertex input from RunOptions.Inputs.
+	Input any
+	// State holds arbitrary per-node algorithm state across rounds.
+	State any
+	// Output is the node's result, read by the caller after the run.
+	Output any
+
+	id    int
+	total int
+	round int
+	ports []int
+	// bufs are the double-buffered per-port outboxes; out aliases the
+	// buffer for the round currently executing.
+	bufs   [2][]Message
+	out    []Message
+	sent   int64
+	halted bool
+}
+
+// ID returns the node's LOCAL-model identifier in {1..n}.
+func (n *Node) ID() int { return n.id }
+
+// Round returns the current round: 0 during Init, then 1, 2, ... for
+// successive Step calls.
+func (n *Node) Round() int { return n.round }
+
+// Degree returns the number of visible ports (the degree within the
+// simulated subgraph).
+func (n *Node) Degree() int { return len(n.ports) }
+
+// N returns the number of vertices of the whole underlying graph, the
+// globally known quantity n of the LOCAL model.
+func (n *Node) N() int { return n.total }
+
+// Send queues msg on the given visible port for delivery next round.
+// Sending again on the same port in one round overwrites. msg must be
+// non-nil (nil encodes silence).
+func (n *Node) Send(port int, msg Message) {
+	if port < 0 || port >= len(n.ports) {
+		panic(fmt.Sprintf("dist: node id=%d sends on port %d of %d", n.id, port, len(n.ports)))
+	}
+	if msg == nil {
+		panic(fmt.Sprintf("dist: node id=%d sends nil message", n.id))
+	}
+	if n.out[port] == nil {
+		n.sent++
+	}
+	n.out[port] = msg
+}
+
+// SendAll sends msg on every visible port.
+func (n *Node) SendAll(msg Message) {
+	for p := range n.ports {
+		n.Send(p, msg)
+	}
+}
+
+// Halt marks the node finished: it takes no further steps and sends
+// nothing after the current call. Messages sent in the same call are
+// still delivered next round.
+func (n *Node) Halt() { n.halted = true }
+
+// Network binds a graph to an identifier assignment and runs vertex
+// programs over it. A Network is immutable and reusable: successive Run
+// calls are independent.
+type Network struct {
+	g   *graph.Graph
+	ids []int
+}
+
+// NewNetwork returns a network with canonical identifiers id(v) = v+1.
+func NewNetwork(g *graph.Graph) *Network {
+	ids := make([]int, g.N())
+	for v := range ids {
+		ids[v] = v + 1
+	}
+	return &Network{g: g, ids: ids}
+}
+
+// NewNetworkPermuted returns a network whose identifiers {1..n} are
+// assigned by a random permutation drawn from rng, stressing
+// identifier-dependent symmetry breaking. A fixed rng seed yields a fixed
+// assignment and hence bit-for-bit reproducible runs.
+func NewNetworkPermuted(g *graph.Graph, rng *rand.Rand) *Network {
+	ids := make([]int, g.N())
+	for v, p := range rng.Perm(g.N()) {
+		ids[v] = p + 1
+	}
+	return &Network{g: g, ids: ids}
+}
+
+// Graph returns the underlying graph.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// IDs returns a copy of the identifier assignment, indexed by vertex.
+func (net *Network) IDs() []int { return append([]int(nil), net.ids...) }
+
+// parallelThreshold is the participant count above which rounds execute
+// on a worker pool; below it the per-round synchronization costs more
+// than it saves. Overridable in tests to force either path.
+var parallelThreshold = 512
+
+// minChunk is the smallest per-worker slice of nodes worth a goroutine.
+const minChunk = 64
+
+// Run executes the vertex program round-by-round until every active node
+// has halted or the round budget trips.
+func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
+	if algo == nil {
+		return nil, errors.New("dist: nil algorithm")
+	}
+	n := net.g.N()
+	if opts.Inputs != nil && len(opts.Inputs) != n {
+		return nil, fmt.Errorf("dist: %d inputs for %d vertices", len(opts.Inputs), n)
+	}
+	if opts.Labels != nil && len(opts.Labels) != n {
+		return nil, fmt.Errorf("dist: %d labels for %d vertices", len(opts.Labels), n)
+	}
+	if opts.Active != nil && len(opts.Active) != n {
+		return nil, fmt.Errorf("dist: %d active flags for %d vertices", len(opts.Active), n)
+	}
+	if opts.MaxRounds < 0 {
+		return nil, fmt.Errorf("dist: negative round budget %d", opts.MaxRounds)
+	}
+	s := newSimulation(net, algo, opts)
+	return s.run()
+}
+
+// simulation is the per-Run state of the engine.
+type simulation struct {
+	net  *Network
+	algo Algorithm
+	opts RunOptions
+
+	nodes []*Node // indexed by vertex; nil for inactive vertices
+	inbox [][]Message
+	// peer[v][p] is the port index of v within the port list of the
+	// neighbor on v's port p, precomputed so delivery is O(1) per edge.
+	peer [][]int
+	// haltedAt[v] is the round at which v halted (math.MaxInt while
+	// running). It is written only between rounds, so workers may read
+	// neighbors' entries without synchronization.
+	haltedAt []int
+	live     []int
+	workers  int
+}
+
+func newSimulation(net *Network, algo Algorithm, opts RunOptions) *simulation {
+	n := net.g.N()
+	s := &simulation{
+		net:      net,
+		algo:     algo,
+		opts:     opts,
+		nodes:    make([]*Node, n),
+		inbox:    make([][]Message, n),
+		peer:     make([][]int, n),
+		haltedAt: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		s.haltedAt[v] = math.MaxInt
+		if opts.Active != nil && !opts.Active[v] {
+			continue
+		}
+		ports := VisiblePorts(net.g, opts.Labels, opts.Active, v)
+		nd := &Node{id: net.ids[v], total: n, ports: ports}
+		nd.bufs[0] = make([]Message, len(ports))
+		nd.bufs[1] = make([]Message, len(ports))
+		if opts.Inputs != nil {
+			nd.Input = opts.Inputs[v]
+		}
+		s.nodes[v] = nd
+		s.inbox[v] = make([]Message, len(ports))
+		s.live = append(s.live, v)
+	}
+	// peer[v][p]: v's position in ports of u = ports[v][p]. Visibility is
+	// symmetric, so v always appears in its visible neighbors' port lists.
+	for _, v := range s.live {
+		ports := s.nodes[v].ports
+		peers := make([]int, len(ports))
+		for p, u := range ports {
+			peers[p] = sort.SearchInts(s.nodes[u].ports, v)
+		}
+		s.peer[v] = peers
+	}
+	s.workers = 1
+	if w := runtime.GOMAXPROCS(0); w > 1 && len(s.live) >= parallelThreshold {
+		s.workers = w // stepRound caps the fan-out per round by minChunk
+	}
+	return s
+}
+
+func (s *simulation) run() (*Result, error) {
+	s.stepRound(0)
+	s.collectHalted(0)
+	budget := s.opts.MaxRounds
+	if budget == 0 {
+		budget = defaultMaxRounds
+	}
+	rounds := 0
+	for r := 1; len(s.live) > 0; r++ {
+		if r > budget {
+			return nil, fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
+				len(s.live), budget, ErrMaxRounds)
+		}
+		s.stepRound(r)
+		rounds = r
+		s.collectHalted(r)
+	}
+	outs := make([]any, s.net.g.N())
+	var msgs int64
+	for v, nd := range s.nodes {
+		if nd != nil {
+			outs[v] = nd.Output
+			msgs += nd.sent
+		}
+	}
+	return &Result{Outputs: outs, Rounds: rounds, Messages: msgs}, nil
+}
+
+// stepRound executes round r (round 0 = Init) on every live node. Nodes
+// touch only their own state, and message delivery reads the previous
+// round's buffers and between-round haltedAt marks, so the live set can
+// be split across workers without changing results.
+func (s *simulation) stepRound(r int) {
+	// Long-tail rounds of wave-style programs leave only a few live
+	// nodes; below the threshold the fan-out costs more than the steps.
+	if s.workers <= 1 || len(s.live) < parallelThreshold {
+		s.stepSlice(r, 0, len(s.live))
+		return
+	}
+	workers := s.workers
+	if max := (len(s.live) + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	chunk := (len(s.live) + workers - 1) / workers
+	for lo := 0; lo < len(s.live); lo += chunk {
+		hi := lo + chunk
+		if hi > len(s.live) {
+			hi = len(s.live)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s.stepSlice(r, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (s *simulation) stepSlice(r, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := s.live[i]
+		nd := s.nodes[v]
+		nd.round = r
+		nd.out = nd.bufs[r%2]
+		for p := range nd.out {
+			nd.out[p] = nil
+		}
+		if r == 0 {
+			s.algo.Init(nd)
+			continue
+		}
+		in := s.inbox[v]
+		prev := (r - 1) % 2
+		for p, u := range nd.ports {
+			// The neighbor's previous-round buffer is live exactly when
+			// it stepped that round, i.e. halted no earlier.
+			if s.haltedAt[u] >= r-1 {
+				in[p] = s.nodes[u].bufs[prev][s.peer[v][p]]
+			} else {
+				in[p] = nil
+			}
+		}
+		s.algo.Step(nd, in)
+	}
+}
+
+// collectHalted prunes nodes that halted during round r from the live
+// set, preserving order so later rounds process nodes deterministically.
+func (s *simulation) collectHalted(r int) {
+	kept := s.live[:0]
+	for _, v := range s.live {
+		if s.nodes[v].halted {
+			s.haltedAt[v] = r
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	s.live = kept
+}

@@ -1,0 +1,319 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// chainColor 2-colors a path: the head (no predecessor port) outputs 0 in
+// Init; every other node waits for its predecessor's color c and outputs
+// 1-c. Input is the port leading to the predecessor, or -1 for the head.
+type chainColor struct{}
+
+func (chainColor) Init(n *Node) {
+	if n.Input.(int) < 0 {
+		n.Output = 0
+		n.SendAll(0)
+		n.Halt()
+	}
+}
+
+func (chainColor) Step(n *Node, inbox []Message) {
+	p := n.Input.(int)
+	if inbox[p] == nil {
+		return
+	}
+	c := 1 - inbox[p].(int)
+	n.Output = c
+	n.SendAll(c)
+	n.Halt()
+}
+
+func pathInputs(n int) []any {
+	inputs := make([]any, n)
+	inputs[0] = -1
+	for v := 1; v < n; v++ {
+		inputs[v] = 0 // predecessor v-1 is the smaller neighbor: port 0
+	}
+	return inputs
+}
+
+func TestPathTwoColoringEndToEnd(t *testing.T) {
+	const n = 17
+	net := NewNetwork(graph.Path(n))
+	res, err := net.Run(chainColor{}, RunOptions{Inputs: pathInputs(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, err := IntOutputs(res, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if colors[v] != v%2 {
+			t.Fatalf("vertex %d colored %d, want %d", v, colors[v], v%2)
+		}
+	}
+	// The color wave takes one round per edge; every node sends to every
+	// neighbor once, so 2m - (n-1) = n-1 messages reach unhalted nodes,
+	// but all 2m sends are counted.
+	if res.Rounds != n-1 {
+		t.Errorf("rounds = %d, want %d", res.Rounds, n-1)
+	}
+	if want := int64(2 * (n - 1)); res.Messages != want {
+		t.Errorf("messages = %d, want %d", res.Messages, want)
+	}
+}
+
+func TestErrMaxRoundsSurfaces(t *testing.T) {
+	const n = 9
+	net := NewNetwork(graph.Path(n))
+	// Budget too small for the wave to reach the tail.
+	_, err := net.Run(chainColor{}, RunOptions{Inputs: pathInputs(n), MaxRounds: n / 2})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	// Exactly enough rounds: no error.
+	if _, err := net.Run(chainColor{}, RunOptions{Inputs: pathInputs(n), MaxRounds: n - 1}); err != nil {
+		t.Fatalf("tight budget failed: %v", err)
+	}
+}
+
+// gossip floods identifiers for a fixed number of rounds and outputs a
+// digest of everything heard - enough mixing that any engine divergence
+// (ordering, delivery, halting) changes some output.
+type gossip struct{ rounds int }
+
+func (g gossip) Init(n *Node) {
+	n.State = n.ID()
+	n.SendAll(n.ID())
+}
+
+func (g gossip) Step(n *Node, inbox []Message) {
+	acc := n.State.(int)
+	for p, m := range inbox {
+		if m != nil {
+			acc = acc*31 + m.(int) + p
+		}
+	}
+	n.State = acc
+	if n.Round() >= g.rounds {
+		n.Output = acc
+		n.Halt()
+		return
+	}
+	n.SendAll(acc % 1000003)
+}
+
+func runGossip(t *testing.T, seed int64) *Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ForestUnion(600, 4, rng)
+	net := NewNetworkPermuted(g, rng)
+	res, err := net.Run(gossip{rounds: 8}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDeterministicForIdenticalSeeds(t *testing.T) {
+	a := runGossip(t, 42)
+	b := runGossip(t, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different results")
+	}
+	c := runGossip(t, 43)
+	if reflect.DeepEqual(a.Outputs, c.Outputs) {
+		t.Fatal("different seeds produced identical outputs (permutation ignored?)")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	defer func(old int) { parallelThreshold = old }(parallelThreshold)
+	parallelThreshold = 1 << 30 // force sequential
+	seq := runGossip(t, 7)
+	parallelThreshold = 1 // force the worker pool
+	par := runGossip(t, 7)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("worker-pool execution diverged from sequential execution")
+	}
+}
+
+// portEcho records, per round, which ports were audible; used to verify
+// label/active visibility and one-shot delivery of a halting node's last
+// messages.
+type portEcho struct{ rounds int }
+
+func (e portEcho) Init(n *Node) {
+	n.State = []int{}
+	n.SendAll(n.ID())
+}
+
+func (e portEcho) Step(n *Node, inbox []Message) {
+	heard := n.State.([]int)
+	for p, m := range inbox {
+		if m != nil {
+			heard = append(heard, p)
+		}
+	}
+	n.State = heard
+	if n.Round() >= e.rounds {
+		n.Output = heard
+		n.Halt()
+		return
+	}
+	n.SendAll(n.ID())
+}
+
+func TestLabelAndActiveFiltering(t *testing.T) {
+	// K4: every pair adjacent. Labels split {0,1} vs {2,3}; vertex 3 is
+	// inactive. Then 0 and 1 hear exactly each other; 2 hears nobody.
+	g := graph.Complete(4)
+	labels := []int{0, 0, 1, 1}
+	active := []bool{true, true, true, false}
+	net := NewNetwork(g)
+	res, err := net.Run(portEcho{rounds: 2}, RunOptions{Labels: labels, Active: active})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[3] != nil {
+		t.Errorf("inactive vertex has output %v", res.Outputs[3])
+	}
+	if got := res.Outputs[0].([]int); !reflect.DeepEqual(got, []int{0, 0}) {
+		t.Errorf("vertex 0 heard ports %v, want [0 0]", got)
+	}
+	if got := res.Outputs[2].([]int); len(got) != 0 {
+		t.Errorf("vertex 2 heard ports %v, want none", got)
+	}
+	// Engine port numbering must agree with VisiblePorts.
+	if ports := VisiblePorts(g, labels, active, 0); !reflect.DeepEqual(ports, []int{1}) {
+		t.Errorf("VisiblePorts(0) = %v, want [1]", ports)
+	}
+}
+
+// haltSender halts in Init after one send; its neighbor keeps listening.
+// The message must arrive exactly once - in round 1, and never again.
+type haltSender struct{}
+
+func (haltSender) Init(n *Node) {
+	if n.ID() == 1 {
+		n.SendAll(99)
+		n.Output = 0
+		n.Halt()
+	}
+}
+
+func (haltSender) Step(n *Node, inbox []Message) {
+	var heard []int
+	if n.State != nil {
+		heard = n.State.([]int)
+	}
+	for _, m := range inbox {
+		if m != nil {
+			heard = append(heard, n.Round())
+		}
+	}
+	n.State = heard
+	if n.Round() == 3 {
+		n.Output = heard
+		n.Halt()
+	}
+}
+
+func TestHaltingSendDeliveredExactlyOnce(t *testing.T) {
+	net := NewNetwork(graph.Path(2))
+	res, err := net.Run(haltSender{}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs[1].([]int); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("vertex 1 heard in rounds %v, want [1] only", got)
+	}
+}
+
+// idler never halts; exercises the engine's default budget error path
+// cheaply via an explicit small cap.
+type idler struct{}
+
+func (idler) Init(n *Node)                 {}
+func (idler) Step(n *Node, inbox []Message) {}
+
+func TestRunOptionValidation(t *testing.T) {
+	net := NewNetwork(graph.Path(3))
+	if _, err := net.Run(nil, RunOptions{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	if _, err := net.Run(idler{}, RunOptions{Inputs: make([]any, 2)}); err == nil {
+		t.Error("short inputs accepted")
+	}
+	if _, err := net.Run(idler{}, RunOptions{Labels: []int{0}}); err == nil {
+		t.Error("short labels accepted")
+	}
+	if _, err := net.Run(idler{}, RunOptions{Active: []bool{true}}); err == nil {
+		t.Error("short active mask accepted")
+	}
+	if _, err := net.Run(idler{}, RunOptions{MaxRounds: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := net.Run(idler{}, RunOptions{MaxRounds: 4}); !errors.Is(err, ErrMaxRounds) {
+		t.Error("non-halting program did not trip the budget")
+	}
+}
+
+func TestInitOnlyRunCostsZeroRounds(t *testing.T) {
+	algo := algoFuncs{
+		init: func(n *Node) { n.Output = n.ID(); n.Halt() },
+	}
+	net := NewNetworkPermuted(graph.Star(6), rand.New(rand.NewSource(3)))
+	res, err := net.Run(algo, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Messages != 0 {
+		t.Fatalf("rounds=%d messages=%d, want 0/0", res.Rounds, res.Messages)
+	}
+	ids := net.IDs()
+	for v, o := range res.Outputs {
+		if o.(int) != ids[v] {
+			t.Fatalf("vertex %d output %v, want id %d", v, o, ids[v])
+		}
+	}
+}
+
+// algoFuncs adapts closures to Algorithm for small test programs.
+type algoFuncs struct {
+	init func(n *Node)
+	step func(n *Node, inbox []Message)
+}
+
+func (a algoFuncs) Init(n *Node) {
+	if a.init != nil {
+		a.init(n)
+	}
+}
+
+func (a algoFuncs) Step(n *Node, inbox []Message) {
+	if a.step != nil {
+		a.step(n, inbox)
+	}
+}
+
+func TestNetworkReusableAcrossRuns(t *testing.T) {
+	net := NewNetworkPermuted(graph.Grid(6, 6), rand.New(rand.NewSource(11)))
+	first, err := net.Run(gossip{rounds: 4}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := net.Run(gossip{rounds: 4}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("re-running on the same network changed the result")
+	}
+}

@@ -1,0 +1,26 @@
+// Package dist is a deterministic simulator for the synchronous LOCAL
+// model of distributed computing, the model in which the paper states
+// every running-time bound.
+//
+// An Algorithm is a vertex program in the Pregel style: Init runs once on
+// every node (round 0), then Step runs once per node per round until every
+// node has called Halt. Messages sent in round r (including from Init) are
+// delivered at the start of round r+1, one inbox slot per port; a port
+// whose neighbor sent nothing that round holds nil. Ports are positions in
+// the node's list of visible neighbors, which is the full sorted adjacency
+// list of the underlying graph unless RunOptions.Labels/Active restrict
+// the run to label-induced subgraphs or an active subset - the mechanism
+// by which the paper's procedures recurse "on all subgraphs in parallel"
+// within a single simulated network.
+//
+// Nodes are identified by LOCAL-model identifiers id(v) in {1..n}, either
+// canonical (NewNetwork) or randomly permuted (NewNetworkPermuted) to
+// stress identifier-dependent symmetry breaking. For a fixed rng seed the
+// whole simulation is bit-for-bit deterministic: node steps touch only
+// their own Node, so the engine may execute each round on a worker pool
+// without affecting results.
+//
+// Cost accounting follows the paper: Result reports the number of
+// communication rounds (the LOCAL measure) and messages sent; Tally
+// accumulates both across the phases of a multi-stage pipeline.
+package dist

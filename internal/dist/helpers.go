@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// IntInputs boxes an int-per-vertex slice as RunOptions.Inputs.
+func IntInputs(vals []int) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+// IntOutputs unboxes a run's outputs as ints. Vertices with no output
+// (inactive, or never assigned one) report def; an error output - the
+// convention vertex programs use to surface bad inputs - aborts with
+// that error.
+func IntOutputs(res *Result, def int) ([]int, error) {
+	out := make([]int, len(res.Outputs))
+	for v, o := range res.Outputs {
+		switch x := o.(type) {
+		case int:
+			out[v] = x
+		case nil:
+			out[v] = def
+		case error:
+			return nil, fmt.Errorf("dist: vertex %d: %w", v, x)
+		default:
+			return nil, fmt.Errorf("dist: vertex %d has non-int output %T", v, o)
+		}
+	}
+	return out, nil
+}
+
+// ComposeLabels refines labels a by labels b: vertices land in the same
+// class iff they agree on both. Classes are renumbered densely from 0 in
+// order of first appearance by vertex index, so the result is
+// deterministic and directly usable as RunOptions.Labels. The slices
+// must have equal length.
+func ComposeLabels(a, b []int) []int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dist: composing %d labels with %d", len(a), len(b)))
+	}
+	out := make([]int, len(a))
+	ids := make(map[[2]int]int, len(a))
+	for v := range a {
+		pair := [2]int{a[v], b[v]}
+		id, ok := ids[pair]
+		if !ok {
+			id = len(ids)
+			ids[pair] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// VisiblePorts returns the neighbors of v visible under the given
+// label/active filters, in ascending vertex order - the port numbering a
+// Run with the same filters uses for v's inbox and Send ports. Both
+// filters may be nil. With no filters the returned slice is the graph's
+// own adjacency list and must not be modified.
+func VisiblePorts(g *graph.Graph, labels []int, active []bool, v int) []int {
+	nbrs := g.Neighbors(v)
+	if labels == nil && active == nil {
+		return nbrs
+	}
+	ports := make([]int, 0, len(nbrs))
+	for _, u := range nbrs {
+		if labels != nil && labels[u] != labels[v] {
+			continue
+		}
+		if active != nil && !active[u] {
+			continue
+		}
+		ports = append(ports, u)
+	}
+	return ports
+}

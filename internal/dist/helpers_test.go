@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTallyAccounting(t *testing.T) {
+	var a Tally
+	if a.Rounds() != 0 || a.Messages() != 0 || len(a.Phases()) != 0 {
+		t.Fatal("zero tally not empty")
+	}
+	a.AddRounds("one", 3, 10)
+	a.AddRounds("two", 4, 0)
+
+	var b Tally
+	b.AddRounds("three", 5, 7)
+	b.Merge(&a)
+	b.Merge(nil) // nil-safe
+
+	if got, want := b.Rounds(), 5+3+4; got != want {
+		t.Errorf("rounds = %d, want %d", got, want)
+	}
+	if got, want := b.Messages(), int64(7+10); got != want {
+		t.Errorf("messages = %d, want %d", got, want)
+	}
+	phases := b.Phases()
+	names := []string{"three", "one", "two"}
+	if len(phases) != len(names) {
+		t.Fatalf("phases = %v", phases)
+	}
+	for i, p := range phases {
+		if p.Name != names[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.Name, names[i])
+		}
+	}
+	// Phases() must be a copy: mutating it must not corrupt the tally.
+	phases[0].Rounds = 999
+	if b.Rounds() != 12 {
+		t.Error("Phases() exposed internal storage")
+	}
+	// Merge copies state, not aliasing: growing a later must not affect b.
+	a.AddRounds("four", 100, 0)
+	if b.Rounds() != 12 {
+		t.Error("Merge aliased the source tally")
+	}
+}
+
+func TestIntInputsRoundTrip(t *testing.T) {
+	in := IntInputs([]int{4, 5, 6})
+	want := []any{4, 5, 6}
+	if !reflect.DeepEqual(in, want) {
+		t.Fatalf("IntInputs = %v, want %v", in, want)
+	}
+}
+
+func TestIntOutputs(t *testing.T) {
+	res := &Result{Outputs: []any{7, nil, 9}}
+	got, err := IntOutputs(res, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{7, -5, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("IntOutputs = %v, want %v", got, want)
+	}
+	if _, err := IntOutputs(&Result{Outputs: []any{7, "oops"}}, 0); err == nil {
+		t.Error("non-int output accepted")
+	}
+	if _, err := IntOutputs(&Result{Outputs: []any{errTest}}, 0); err == nil {
+		t.Error("error output not propagated")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestComposeLabelsDenseAndDeterministic(t *testing.T) {
+	a := []int{0, 0, 1, 1, 0}
+	b := []int{5, 5, 5, 7, 9}
+	out := ComposeLabels(a, b)
+	// Pairs: (0,5)(0,5)(1,5)(1,7)(0,9) -> first-appearance ids 0,0,1,2,3.
+	if want := []int{0, 0, 1, 2, 3}; !reflect.DeepEqual(out, want) {
+		t.Fatalf("ComposeLabels = %v, want %v", out, want)
+	}
+	if again := ComposeLabels(a, b); !reflect.DeepEqual(out, again) {
+		t.Fatal("ComposeLabels not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not rejected")
+		}
+	}()
+	ComposeLabels([]int{1}, []int{1, 2})
+}
+
+func TestVisiblePortsFiltering(t *testing.T) {
+	// K5, vertex 0: neighbors 1,2,3,4.
+	g := graph.Complete(5)
+	labels := []int{0, 0, 1, 0, 0}
+	active := []bool{true, true, true, false, true}
+
+	if got := VisiblePorts(g, nil, nil, 0); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Errorf("unfiltered = %v", got)
+	}
+	if got := VisiblePorts(g, labels, nil, 0); !reflect.DeepEqual(got, []int{1, 3, 4}) {
+		t.Errorf("label-filtered = %v", got)
+	}
+	if got := VisiblePorts(g, nil, active, 0); !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Errorf("active-filtered = %v", got)
+	}
+	if got := VisiblePorts(g, labels, active, 0); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("both-filtered = %v", got)
+	}
+	// Port order must match the sorted adjacency list positions.
+	if got := VisiblePorts(g, labels, active, 2); len(got) != 0 {
+		t.Errorf("vertex 2 (lone label) sees %v, want none", got)
+	}
+}

@@ -1,0 +1,52 @@
+package dist
+
+// PhaseStat is the cost of one named phase of a multi-stage pipeline.
+type PhaseStat struct {
+	Name     string
+	Rounds   int
+	Messages int64
+}
+
+// Tally accumulates round and message counts across the phases of a
+// pipeline (H-partition, level coloring, orientation, ...). The zero
+// value is an empty tally ready for use.
+type Tally struct {
+	phases []PhaseStat
+}
+
+// AddRounds records a phase with the given cost.
+func (t *Tally) AddRounds(name string, rounds int, messages int64) {
+	t.phases = append(t.phases, PhaseStat{Name: name, Rounds: rounds, Messages: messages})
+}
+
+// Merge appends every phase of other (nil-safe) to t.
+func (t *Tally) Merge(other *Tally) {
+	if other == nil {
+		return
+	}
+	t.phases = append(t.phases, other.phases...)
+}
+
+// Rounds returns the total rounds across all phases - the LOCAL running
+// time of the whole pipeline.
+func (t *Tally) Rounds() int {
+	total := 0
+	for _, p := range t.phases {
+		total += p.Rounds
+	}
+	return total
+}
+
+// Messages returns the total messages across all phases.
+func (t *Tally) Messages() int64 {
+	var total int64
+	for _, p := range t.phases {
+		total += p.Messages
+	}
+	return total
+}
+
+// Phases returns a copy of the per-phase breakdown in recording order.
+func (t *Tally) Phases() []PhaseStat {
+	return append([]PhaseStat(nil), t.phases...)
+}
