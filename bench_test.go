@@ -31,6 +31,7 @@ func benchRows(b *testing.B, fn func(experiments.Sizes) ([]experiments.Row, erro
 		}
 	}
 	maxRounds, sumColors := 0, 0
+	var sumMessages int64
 	for _, r := range rows {
 		if !r.OK {
 			b.Fatalf("experiment row failed its bound: %+v", r)
@@ -39,10 +40,14 @@ func benchRows(b *testing.B, fn func(experiments.Sizes) ([]experiments.Row, erro
 			maxRounds = r.Rounds
 		}
 		sumColors += r.Colors
+		sumMessages += r.Messages
 	}
 	b.ReportMetric(float64(maxRounds), "rounds")
 	if sumColors > 0 {
 		b.ReportMetric(float64(sumColors)/float64(len(rows)), "colors/op")
+	}
+	if sumMessages > 0 {
+		b.ReportMetric(float64(sumMessages)/float64(len(rows)), "msgs/op")
 	}
 }
 

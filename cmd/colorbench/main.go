@@ -1,11 +1,13 @@
-// Colorbench runs the full experiment suite of DESIGN.md (E01-E19),
+// Colorbench runs the full experiment suite of DESIGN.md (E01-E22),
 // regenerating every theorem-level claim of the paper with measured
 // values next to the predicted bounds. The output is the source of
-// EXPERIMENTS.md.
+// EXPERIMENTS.md; with -json it emits one machine-readable record per
+// experiment row (JSON Lines: colors, rounds, messages, wall time) for
+// CI trend tracking.
 //
 // Usage:
 //
-//	colorbench [-n vertices] [-seed s] [-exp E07]
+//	colorbench [-n vertices] [-seed s] [-exp E07] [-json]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -28,57 +31,55 @@ func run() error {
 	n := flag.Int("n", experiments.DefaultSizes.N, "vertex count per workload")
 	seed := flag.Int64("seed", experiments.DefaultSizes.Seed, "base RNG seed")
 	exp := flag.String("exp", "", "run a single experiment (e.g. E07)")
+	jsonOut := flag.Bool("json", false, "emit one JSON record per row (JSON Lines) instead of the table")
 	flag.Parse()
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
-	fns := map[string]func(experiments.Sizes) ([]experiments.Row, error){
-		"E01": experiments.E01HPartition,
-		"E02": experiments.E02Forests,
-		"E03": experiments.E03BE08,
-		"E04": experiments.E04Linial,
-		"E05": experiments.E05Defective,
-		"E06": experiments.E06CompleteOrientation,
-		"E07": experiments.E07PartialOrientation,
-		"E08": experiments.E08SimpleArbdefective,
-		"E09": experiments.E09ArbdefectiveColoring,
-		"E10": experiments.E10OneShot,
-		"E11": experiments.E11LegalColoring,
-		"E12": experiments.E12Tradeoff,
-		"E13": experiments.E13DeltaPlusOne,
-		"E14": experiments.E14ArbKuhn,
-		"E15": experiments.E15FastColoring,
-		"E16": experiments.E16ColorAT,
-		"E17": experiments.E17MIS,
-		"E18": experiments.E18StateOfTheArt,
-		"E19": experiments.E19OrientationColoring,
-		"E20": experiments.E20AblationOrientation,
-		"E21": experiments.E21LinialReduction,
-		"E22": experiments.E22IDRobustness,
+	suite := experiments.List()
+	if *exp != "" {
+		id := strings.ToUpper(*exp)
+		var selected []experiments.Experiment
+		for _, e := range suite {
+			if e.ID == id {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		suite = selected
 	}
 
 	var rows []experiments.Row
-	var err error
-	if *exp != "" {
-		fn, ok := fns[strings.ToUpper(*exp)]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", *exp)
+	var recs []experiments.Record
+	for _, e := range suite {
+		start := time.Now()
+		expRows, err := e.Fn(sizes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		rows, err = fn(sizes)
-	} else {
-		rows, err = experiments.All(sizes)
+		wallMS := float64(time.Since(start).Microseconds()) / 1000.0
+		rows = append(rows, expRows...)
+		for _, r := range expRows {
+			recs = append(recs, experiments.NewRecord(r, wallMS, sizes))
+		}
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("reproduction suite: n=%d seed=%d\n\n", sizes.N, sizes.Seed)
-	fmt.Print(experiments.Table(rows))
+
 	bad := 0
 	for _, r := range rows {
 		if !r.OK {
 			bad++
 		}
 	}
-	fmt.Printf("\n%d rows, %d bound violations\n", len(rows), bad)
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, recs); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("reproduction suite: n=%d seed=%d\n\n", sizes.N, sizes.Seed)
+		fmt.Print(experiments.Table(rows))
+		fmt.Printf("\n%d rows, %d bound violations\n", len(rows), bad)
+	}
 	if bad > 0 {
 		return fmt.Errorf("%d experiments violated their bound", bad)
 	}

@@ -86,8 +86,9 @@ func (a lubyAlgo) Step(n *dist.Node, inbox []dist.Message) {
 
 // LubyResult reports a Luby MIS run.
 type LubyResult struct {
-	InMIS  []bool
-	Rounds int
+	InMIS    []bool
+	Rounds   int
+	Messages int64
 }
 
 // LubyMIS runs Luby's randomized MIS. The seed makes runs reproducible;
@@ -105,5 +106,5 @@ func LubyMIS(net *dist.Network, seed int64) (*LubyResult, error) {
 		}
 		inMIS[v] = b
 	}
-	return &LubyResult{InMIS: inMIS, Rounds: res.Rounds}, nil
+	return &LubyResult{InMIS: inMIS, Rounds: res.Rounds, Messages: res.Messages}, nil
 }

@@ -95,8 +95,9 @@ func (a randColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 
 // RandColorResult reports a randomized coloring run.
 type RandColorResult struct {
-	Colors []int
-	Rounds int
+	Colors   []int
+	Rounds   int
+	Messages int64
 }
 
 // RandomizedColoring runs the trial-based (Delta+1)-coloring.
@@ -117,5 +118,5 @@ func RandomizedColoring(net *dist.Network, seed int64) (*RandColorResult, error)
 			return nil, fmt.Errorf("baseline: vertex %d output %T", v, o)
 		}
 	}
-	return &RandColorResult{Colors: colors, Rounds: res.Rounds}, nil
+	return &RandColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages}, nil
 }

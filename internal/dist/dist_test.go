@@ -240,7 +240,7 @@ func TestHaltingSendDeliveredExactlyOnce(t *testing.T) {
 // cheaply via an explicit small cap.
 type idler struct{}
 
-func (idler) Init(n *Node)                 {}
+func (idler) Init(n *Node)                  {}
 func (idler) Step(n *Node, inbox []Message) {}
 
 func TestRunOptionValidation(t *testing.T) {

@@ -27,19 +27,20 @@ func E20AblationOrientation(s Sizes) ([]Row, error) {
 		var (
 			sigma  *graph.Orientation
 			rounds int
+			msgs   int64
 		)
 		if variant == "complete(Cor3.4)" {
 			co, err := orient.Complete(net, a, forest.DefaultEps, orient.LevelDeltaPlusOne, nil, nil)
 			if err != nil {
 				return nil, err
 			}
-			sigma, rounds = co.Sigma, co.Tally.Rounds()
+			sigma, rounds, msgs = co.Sigma, co.Tally.Rounds(), co.Tally.Messages()
 		} else {
 			po, err := orient.Partial(net, a, k, forest.DefaultEps, nil, nil)
 			if err != nil {
 				return nil, err
 			}
-			sigma, rounds = po.Sigma, po.Tally.Rounds()
+			sigma, rounds, msgs = po.Sigma, po.Tally.Rounds(), po.Tally.Messages()
 		}
 		sr, err := arbdefect.Simple(net, sigma, k, nil, nil)
 		if err != nil {
@@ -51,6 +52,7 @@ func E20AblationOrientation(s Sizes) ([]Row, error) {
 			Exp: "E20", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: variant, Colors: graph.NumColors(sr.Colors),
 			Rounds:   rounds + sr.Rounds,
+			Messages: msgs + sr.Messages,
 			Measured: float64(st.Length),
 			Metric:   "orient-length", OK: witnessOK,
 			Note: fmt.Sprintf("arbdefect<=%d deficit=%d", sr.Bound, st.Deficit),
@@ -76,6 +78,7 @@ func E21LinialReduction(s Sizes) ([]Row, error) {
 		Exp: "E21", Workload: fmt.Sprintf("regular n=%d Delta=%d", g.N(), delta),
 		Params: "MIS->(D+1) via product", Colors: graph.NumColors(res.Colors),
 		Rounds:   res.Rounds,
+		Messages: res.Messages,
 		Measured: float64(graph.MaxColor(res.Colors) + 1), Bound: float64(delta + 1),
 		Metric: "colors vs Delta+1", OK: ok,
 		Note: fmt.Sprintf("product size=%d", g.N()*(delta+1)),
@@ -108,7 +111,7 @@ func E22IDRobustness(s Sizes) ([]Row, error) {
 		ok := g.CheckLegalColoring(res.colors) == nil
 		rows = append(rows, Row{
 			Exp: "E22", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
-			Params: name, Colors: graph.NumColors(res.colors), Rounds: res.rounds,
+			Params: name, Colors: graph.NumColors(res.colors), Rounds: res.rounds, Messages: res.messages,
 			Measured: float64(graph.NumColors(res.colors)), Bound: float64(20 * a),
 			Metric: "colors vs 20a", OK: ok && graph.NumColors(res.colors) <= 20*a,
 		})

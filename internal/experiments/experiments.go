@@ -29,6 +29,7 @@ type Row struct {
 	Params   string  // swept parameters
 	Colors   int     // colors used (0 when not applicable)
 	Rounds   int     // simulated LOCAL rounds
+	Messages int64   // messages sent across the run
 	Measured float64 // the quantity the claim bounds (see Metric)
 	Bound    float64 // the claim's bound on Measured (0 = n/a)
 	Metric   string  // name of the Measured quantity
@@ -39,9 +40,9 @@ type Row struct {
 // Table renders rows as an aligned text table (markdown-compatible).
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "| %-4s | %-26s | %-22s | %7s | %7s | %10s | %10s | %-16s | %-4s |\n",
-		"exp", "workload", "params", "colors", "rounds", "measured", "bound", "metric", "ok")
-	fmt.Fprintf(&b, "|------|----------------------------|------------------------|---------|---------|------------|------------|------------------|------|\n")
+	fmt.Fprintf(&b, "| %-4s | %-26s | %-22s | %7s | %7s | %9s | %10s | %10s | %-16s | %-4s |\n",
+		"exp", "workload", "params", "colors", "rounds", "messages", "measured", "bound", "metric", "ok")
+	fmt.Fprintf(&b, "|------|----------------------------|------------------------|---------|---------|-----------|------------|------------|------------------|------|\n")
 	for _, r := range rows {
 		ok := "yes"
 		if !r.OK {
@@ -51,8 +52,8 @@ func Table(rows []Row) string {
 		if r.Bound > 0 {
 			bound = fmt.Sprintf("%.1f", r.Bound)
 		}
-		fmt.Fprintf(&b, "| %-4s | %-26s | %-22s | %7d | %7d | %10.1f | %10s | %-16s | %-4s |\n",
-			r.Exp, r.Workload, r.Params, r.Colors, r.Rounds, r.Measured, bound, r.Metric, ok)
+		fmt.Fprintf(&b, "| %-4s | %-26s | %-22s | %7d | %7d | %9d | %10.1f | %10s | %-16s | %-4s |\n",
+			r.Exp, r.Workload, r.Params, r.Colors, r.Rounds, r.Messages, r.Measured, bound, r.Metric, ok)
 	}
 	return b.String()
 }
@@ -102,7 +103,7 @@ func E01HPartition(s Sizes) ([]Row, error) {
 		}
 		rows = append(rows, Row{
 			Exp: "E01", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
-			Params: fmt.Sprintf("a=%d", a), Rounds: hp.Rounds,
+			Params: fmt.Sprintf("a=%d", a), Rounds: hp.Rounds, Messages: hp.Messages,
 			Measured: float64(maxUp), Bound: float64(hp.Degree),
 			Metric: "up-degree", OK: maxUp <= hp.Degree,
 			Note: fmt.Sprintf("levels=%d (log n=%.0f)", hp.NumLevels, logN(g.N())),
@@ -124,7 +125,7 @@ func E02Forests(s Sizes) ([]Row, error) {
 		ok := fd.Validate() == nil
 		rows = append(rows, Row{
 			Exp: "E02", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
-			Params: fmt.Sprintf("a=%d", a), Rounds: fd.Rounds,
+			Params: fmt.Sprintf("a=%d", a), Rounds: fd.Rounds, Messages: fd.Messages,
 			Measured: float64(fd.NumForests), Bound: float64(forest.DefaultEps.Threshold(a)),
 			Metric: "num-forests", OK: ok && fd.NumForests <= forest.DefaultEps.Threshold(a),
 		})
@@ -147,6 +148,7 @@ func E03BE08(s Sizes) ([]Row, error) {
 			Exp: "E03", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
 			Params: fmt.Sprintf("a=%d", a), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(graph.MaxColor(res.Colors) + 1), Bound: float64(res.Palette),
 			Metric: "palette", OK: ok && graph.MaxColor(res.Colors) < res.Palette,
 			Note: fmt.Sprintf("a*log n=%.0f", float64(a)*logN(g.N())),
@@ -174,6 +176,7 @@ func E04Linial(s Sizes) ([]Row, error) {
 			Exp: "E04", Workload: fmt.Sprintf("regular n=%d", g.N()),
 			Params: fmt.Sprintf("Delta=%d", delta), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Rounds,
+			Messages: res.Messages,
 			Measured: float64(graph.MaxColor(res.Colors) + 1), Bound: bound,
 			Metric: "colors vs 8D^2", OK: ok && float64(graph.MaxColor(res.Colors)+1) <= bound,
 			Note: fmt.Sprintf("log* n=%d", graph.LogStar(g.N())),
@@ -200,6 +203,7 @@ func E05Defective(s Sizes) ([]Row, error) {
 			Exp: "E05", Workload: fmt.Sprintf("regular n=%d Delta=%d", g.N(), delta),
 			Params: fmt.Sprintf("p=%d", p), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Rounds,
+			Messages: res.Messages,
 			Measured: float64(def), Bound: float64(delta / p),
 			Metric: "defect", OK: def <= delta/p && graph.NumColors(res.Colors) <= 16*p*p+26,
 			Note: fmt.Sprintf("colors<=16p^2+26=%d", 16*p*p+26),
@@ -222,7 +226,7 @@ func E06CompleteOrientation(s Sizes) ([]Row, error) {
 		lengthBound := float64(res.HP.NumLevels * (res.LevelPalette + 1))
 		rows = append(rows, Row{
 			Exp: "E06", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
-			Params: fmt.Sprintf("a=%d", a), Rounds: res.Tally.Rounds(),
+			Params: fmt.Sprintf("a=%d", a), Rounds: res.Tally.Rounds(), Messages: res.Tally.Messages(),
 			Measured: float64(st.Length), Bound: lengthBound,
 			Metric: "orient-length",
 			OK:     st.Acyclic && st.Deficit == 0 && st.OutDegree <= forest.DefaultEps.Threshold(a) && float64(st.Length) <= lengthBound,
@@ -246,7 +250,7 @@ func E07PartialOrientation(s Sizes) ([]Row, error) {
 		st := orient.MeasureWithin(res.Sigma, nil, nil)
 		rows = append(rows, Row{
 			Exp: "E07", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
-			Params: fmt.Sprintf("t=%d", t), Rounds: res.Tally.Rounds(),
+			Params: fmt.Sprintf("t=%d", t), Rounds: res.Tally.Rounds(), Messages: res.Tally.Messages(),
 			Measured: float64(st.Deficit), Bound: math.Max(float64(a/t), 0.5),
 			Metric: "deficit",
 			OK:     st.Acyclic && st.Deficit <= a/t && st.OutDegree <= forest.DefaultEps.Threshold(a),
@@ -277,6 +281,7 @@ func E08SimpleArbdefective(s Sizes) ([]Row, error) {
 			Exp: "E08", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("k=%d", k), Colors: graph.NumColors(sr.Colors),
 			Rounds:   sr.Rounds,
+			Messages: sr.Messages,
 			Measured: float64(sr.Rounds), Bound: float64(st.Length + 1),
 			Metric: "rounds vs len+1", OK: witnessOK && sr.Rounds <= st.Length+1,
 			Note: fmt.Sprintf("arbdefect<=%d", sr.Bound),
@@ -300,6 +305,7 @@ func E09ArbdefectiveColoring(s Sizes) ([]Row, error) {
 			Exp: "E09", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("k=t=%d", kt), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(res.Bound), Bound: float64(a/kt + forest.DefaultEps.Threshold(a)/kt),
 			Metric: "arbdefect", OK: arbOK,
 			Note: fmt.Sprintf("t^2*log n=%.0f", float64(kt*kt)*logN(g.N())),
@@ -322,6 +328,7 @@ func E10OneShot(s Sizes) ([]Row, error) {
 			Exp: "E10", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
 			Params: fmt.Sprintf("a=%d", a), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(res.Palette), Bound: 30*float64(a) + 60,
 			Metric: "palette vs O(a)", OK: ok && float64(res.Palette) <= 30*float64(a)+60,
 			Note: fmt.Sprintf("a^(2/3)*log n=%.0f", math.Pow(float64(a), 2.0/3.0)*logN(g.N())),
@@ -350,6 +357,7 @@ func E11LegalColoring(s Sizes) ([]Row, error) {
 			Exp: "E11", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
 			Params: fmt.Sprintf("a=%d mu=2/3", a), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(res.Palette), Bound: bound + 100,
 			Metric: "palette vs O(a)", OK: ok && float64(res.Palette) <= bound+100,
 			Note: fmt.Sprintf("iters=%d a^(2/3)logn=%.0f", res.Iterations, math.Pow(float64(a), 2.0/3.0)*logN(g.N())),
@@ -373,6 +381,7 @@ func E12Tradeoff(s Sizes) ([]Row, error) {
 			Exp: "E12", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("p=%d", p), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(res.Iterations), Bound: math.Ceil(math.Log(float64(a))/math.Log(float64(p)/3.25)) + 1,
 			Metric: "iterations", OK: ok,
 		})
@@ -399,6 +408,7 @@ func E13DeltaPlusOne(s Sizes) ([]Row, error) {
 			Exp: "E13", Workload: fmt.Sprintf("star-forest n=%d", g.N()),
 			Params: fmt.Sprintf("a=%d Delta=%d", a, g.MaxDegree()), Colors: nc,
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(nc), Bound: float64(g.MaxDegree() + 1),
 			Metric: "colors vs Delta+1", OK: ok,
 		})
@@ -421,6 +431,7 @@ func E14ArbKuhn(s Sizes) ([]Row, error) {
 			Exp: "E14", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("t=%d", t), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(res.Defect), Bound: float64(a / t),
 			Metric: "arbdefect", OK: witnessOK && res.Defect <= a/t,
 			Note: fmt.Sprintf("O(log n)=%.0f", logN(g.N())),
@@ -444,6 +455,7 @@ func E15FastColoring(s Sizes) ([]Row, error) {
 			Exp: "E15", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("g=%d", gb), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(graph.NumColors(res.Colors)),
 			Metric:   "colors (O(a^2/g))", OK: ok,
 		})
@@ -466,6 +478,7 @@ func E16ColorAT(s Sizes) ([]Row, error) {
 			Exp: "E16", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("t=%d", t), Colors: graph.NumColors(res.Colors),
 			Rounds:   res.Tally.Rounds(),
+			Messages: res.Tally.Messages(),
 			Measured: float64(graph.NumColors(res.Colors)),
 			Metric:   "colors (O(a*t))", OK: ok,
 		})
@@ -487,7 +500,7 @@ func E17MIS(s Sizes) ([]Row, error) {
 		ok := g.CheckMIS(mres.InMIS) == nil
 		rows = append(rows, Row{
 			Exp: "E17", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
-			Params: fmt.Sprintf("a=%d ours", a), Rounds: tally.Rounds(),
+			Params: fmt.Sprintf("a=%d ours", a), Rounds: tally.Rounds(), Messages: tally.Messages(),
 			Measured: float64(tally.Rounds()),
 			Metric:   "rounds (O(a+a^mu logn))", OK: ok,
 		})
@@ -498,7 +511,7 @@ func E17MIS(s Sizes) ([]Row, error) {
 		ok = g.CheckMIS(lres.InMIS) == nil
 		rows = append(rows, Row{
 			Exp: "E17", Workload: fmt.Sprintf("forest-union n=%d", g.N()),
-			Params: fmt.Sprintf("a=%d luby", a), Rounds: lres.Rounds,
+			Params: fmt.Sprintf("a=%d luby", a), Rounds: lres.Rounds, Messages: lres.Messages,
 			Measured: float64(lres.Rounds),
 			Metric:   "rounds (O(log n) rand)", OK: ok,
 		})
@@ -535,7 +548,7 @@ func E18StateOfTheArt(s Sizes) ([]Row, error) {
 		rows = append(rows, Row{
 			Exp: "E18", Workload: fmt.Sprintf("star-forest n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("Delta=%d", delta),
-			Colors: graph.NumColors(ours.Colors), Rounds: ours.Tally.Rounds(),
+			Colors: graph.NumColors(ours.Colors), Rounds: ours.Tally.Rounds(), Messages: ours.Tally.Messages(),
 			Measured: float64(graph.NumColors(lin.Colors)),
 			Bound:    float64(8*delta*delta + 1),
 			Metric:   "linial-colors",
@@ -572,6 +585,7 @@ func E19OrientationColoring(s Sizes) ([]Row, error) {
 			Exp: "E19", Workload: fmt.Sprintf("forest-union n=%d a=%d", g.N(), a),
 			Params: fmt.Sprintf("len=%d", length), Colors: graph.NumColors(wc.Colors),
 			Rounds:   wc.Rounds,
+			Messages: wc.Messages,
 			Measured: float64(wc.Rounds), Bound: float64(length + 1),
 			Metric: "rounds vs len+1", OK: ok && wc.Rounds <= length+1,
 		})
@@ -581,8 +595,9 @@ func E19OrientationColoring(s Sizes) ([]Row, error) {
 
 // coreLegal is a small shared wrapper used by the ablations.
 type legalOut struct {
-	colors []int
-	rounds int
+	colors   []int
+	rounds   int
+	messages int64
 }
 
 func coreLegal(net *dist.Network, a int) (legalOut, error) {
@@ -590,22 +605,14 @@ func coreLegal(net *dist.Network, a int) (legalOut, error) {
 	if err != nil {
 		return legalOut{}, err
 	}
-	return legalOut{colors: res.Colors, rounds: res.Tally.Rounds()}, nil
+	return legalOut{colors: res.Colors, rounds: res.Tally.Rounds(), messages: res.Tally.Messages()}, nil
 }
 
-// All runs every experiment in order.
+// All runs every experiment in List order.
 func All(s Sizes) ([]Row, error) {
-	fns := []func(Sizes) ([]Row, error){
-		E01HPartition, E02Forests, E03BE08, E04Linial, E05Defective,
-		E06CompleteOrientation, E07PartialOrientation, E08SimpleArbdefective,
-		E09ArbdefectiveColoring, E10OneShot, E11LegalColoring, E12Tradeoff,
-		E13DeltaPlusOne, E14ArbKuhn, E15FastColoring, E16ColorAT, E17MIS,
-		E18StateOfTheArt, E19OrientationColoring,
-		E20AblationOrientation, E21LinialReduction, E22IDRobustness,
-	}
 	var all []Row
-	for _, fn := range fns {
-		rows, err := fn(s)
+	for _, exp := range List() {
+		rows, err := exp.Fn(s)
 		if err != nil {
 			return all, err
 		}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestListCoversSuiteInOrder(t *testing.T) {
+	suite := List()
+	if len(suite) != 22 {
+		t.Fatalf("suite has %d experiments, want 22", len(suite))
+	}
+	for i, e := range suite {
+		want := "E" + string(rune('0'+(i+1)/10)) + string(rune('0'+(i+1)%10))
+		if e.ID != want {
+			t.Errorf("suite[%d].ID = %s, want %s", i, e.ID, want)
+		}
+		if e.Fn == nil {
+			t.Errorf("suite[%d] (%s) has nil runner", i, e.ID)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	s := Sizes{N: 300, Seed: 9}
+	rows, err := E04Linial(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for _, r := range rows {
+		recs = append(recs, NewRecord(r, 12.5, s))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	i := 0
+	for sc.Scan() {
+		var got Record
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if got != recs[i] {
+			t.Errorf("line %d: %+v round-tripped to %+v", i, recs[i], got)
+		}
+		if got.Exp != "E04" || got.N != 300 || got.Seed != 9 || got.WallMS != 12.5 {
+			t.Errorf("line %d: unexpected envelope fields %+v", i, got)
+		}
+		if got.Messages <= 0 && got.Rounds > 0 {
+			t.Errorf("line %d: rounds %d with no messages recorded", i, got.Rounds)
+		}
+		i++
+	}
+	if i != len(recs) {
+		t.Fatalf("decoded %d records, want %d (one JSON object per line)", i, len(recs))
+	}
+}

@@ -1,0 +1,39 @@
+package field
+
+import "sync"
+
+// famKey identifies a family by its construction parameters.
+type famKey struct{ q, d int }
+
+var (
+	famMu    sync.RWMutex
+	famCache = map[famKey]*Family{}
+)
+
+// Families returns the memoized family for (q, d), constructing and
+// caching it on first use. The cache is process-wide: every recoloring
+// step of every node of every network shares one immutable *Family per
+// parameter pair, so the q x q row table and the base-q decoding work
+// are paid once instead of once per node per round. Safe for concurrent
+// use; construction errors are not cached.
+func Families(q, d int) (*Family, error) {
+	key := famKey{q, d}
+	famMu.RLock()
+	f := famCache[key]
+	famMu.RUnlock()
+	if f != nil {
+		return f, nil
+	}
+	f, err := NewFamily(q, d)
+	if err != nil {
+		return nil, err
+	}
+	famMu.Lock()
+	if prev, ok := famCache[key]; ok {
+		f = prev // another goroutine won the race; keep one canonical copy
+	} else {
+		famCache[key] = f
+	}
+	famMu.Unlock()
+	return f, nil
+}

@@ -1,0 +1,178 @@
+package field
+
+import (
+	"sync"
+	"testing"
+)
+
+// evalPowerSum is the seed Eval, preserved verbatim as the reference for
+// the Horner rewrite: it accumulates powers of alpha term by term over
+// the base-q digits of x.
+func evalPowerSum(q, degree, x, alpha int) int {
+	acc := 0
+	powAlpha := 1
+	for i := 0; i <= degree; i++ {
+		c := x % q
+		x /= q
+		acc = (acc + c*powAlpha) % q
+		powAlpha = (powAlpha * alpha) % q
+	}
+	return acc
+}
+
+// TestEvalHornerMatchesPowerSum proves the Horner evaluation is
+// bit-for-bit identical to the seed power accumulation, including for
+// indices beyond Size() (both reduce x modulo q^(D+1) per the documented
+// index contract).
+func TestEvalHornerMatchesPowerSum(t *testing.T) {
+	for _, tc := range []struct{ q, d int }{
+		{2, 0}, {2, 3}, {5, 1}, {5, 2}, {7, 2}, {11, 3}, {23, 1}, {101, 2},
+	} {
+		fam, err := NewFamily(tc.q, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := fam.Size()
+		xs := []int{0, 1, tc.q - 1, tc.q, size / 2, size - 1,
+			size, size + 1, 3*size + 7, 1 << 40}
+		for _, x := range xs {
+			for alpha := 0; alpha < tc.q; alpha++ {
+				want := evalPowerSum(tc.q, tc.d, x, alpha)
+				if got := fam.Eval(x, alpha); got != want {
+					t.Fatalf("q=%d d=%d Eval(%d,%d) = %d, power-sum says %d",
+						tc.q, tc.d, x, alpha, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalNegativeIndexPanics(t *testing.T) {
+	fam, err := NewFamily(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval(-1, 0) did not panic")
+		}
+	}()
+	fam.Eval(-1, 0)
+}
+
+// TestRowViewMatchesRow checks both RowView paths (table hit and scratch
+// fallback) against Row, and that table hits allocate nothing.
+func TestRowViewMatchesRow(t *testing.T) {
+	fam, err := NewFamily(5, 2) // size 125, fully cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RowsCached() != fam.Size() {
+		t.Fatalf("small family not fully cached: %d of %d", fam.RowsCached(), fam.Size())
+	}
+	scratch := make([]int, fam.Q())
+	for x := 0; x < fam.Size(); x++ {
+		row := fam.Row(x)
+		view := fam.RowView(x, scratch)
+		for alpha, want := range row {
+			if view[alpha] != want {
+				t.Fatalf("RowView(%d)[%d] = %d, Row says %d", x, alpha, view[alpha], want)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fam.RowView(7, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("RowView table hit allocates %v per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		fam.RowView(fam.Size()+3, scratch) // out-of-table: scratch fallback
+	})
+	if allocs != 0 {
+		t.Errorf("RowView fallback allocates %v per run", allocs)
+	}
+}
+
+// TestEvalTableLayout checks the flattened x*q+alpha layout.
+func TestEvalTableLayout(t *testing.T) {
+	fam, err := NewFamily(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := fam.EvalTable()
+	if len(table) != fam.RowsCached()*fam.Q() {
+		t.Fatalf("table length %d, want %d", len(table), fam.RowsCached()*fam.Q())
+	}
+	for x := 0; x < fam.RowsCached(); x++ {
+		for alpha := 0; alpha < fam.Q(); alpha++ {
+			if table[x*fam.Q()+alpha] != fam.Eval(x, alpha) {
+				t.Fatalf("table[%d*q+%d] != Eval", x, alpha)
+			}
+		}
+	}
+}
+
+// TestRowTableCapped checks large families keep a partial table and fall
+// back correctly past it.
+func TestRowTableCapped(t *testing.T) {
+	fam, err := NewFamily(1009, 1) // size 1009^2 ~ 1M; table must be capped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RowsCached() >= fam.Size() {
+		t.Fatalf("expected capped table, got %d of %d", fam.RowsCached(), fam.Size())
+	}
+	if got, want := len(fam.EvalTable()), fam.RowsCached()*fam.Q(); got != want {
+		t.Fatalf("table length %d, want %d", got, want)
+	}
+	scratch := make([]int, fam.Q())
+	x := fam.RowsCached() + 12345
+	view := fam.RowView(x, scratch)
+	for alpha := 0; alpha < fam.Q(); alpha++ {
+		if view[alpha] != fam.Eval(x, alpha) {
+			t.Fatalf("fallback RowView(%d)[%d] mismatch", x, alpha)
+		}
+	}
+}
+
+// TestFamiliesMemoized checks the process-wide cache returns one
+// canonical instance per parameter pair, also under concurrency.
+func TestFamiliesMemoized(t *testing.T) {
+	a, err := Families(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Families(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Families(13,2) returned distinct instances")
+	}
+	if _, err := Families(10, 1); err == nil {
+		t.Error("Families(10,1) accepted a composite modulus")
+	}
+
+	const workers = 8
+	got := make([]*Family, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := Families(9973, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = f
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Families calls returned distinct instances")
+		}
+	}
+}

@@ -2,6 +2,12 @@ package field
 
 import "fmt"
 
+// maxRowTableInts caps the memory spent on a family's precomputed row
+// table (ints, i.e. 8 MiB at 1<<20). Terminal recoloring families
+// (q up to ~100) are cached in full; larger first-step families keep a
+// partial table and fall back to on-the-fly Horner evaluation.
+const maxRowTableInts = 1 << 20
+
 // Family is a family of functions phi_x : [0,Q) -> [0,Q), indexed by
 // x in [0, Size()), such that any two distinct functions agree on at most
 // Agreement() points. It is realized by polynomials of degree <= D over F_q:
@@ -9,10 +15,20 @@ import "fmt"
 //
 // Family satisfies the hypotheses of Lemma 5.1 in the paper (and Lemma 4.3
 // of Kuhn SPAA'09): |A| = |B| = q, k = D, and |F| = q^(D+1) >= M functions.
+//
+// A Family is immutable after construction and safe for concurrent use;
+// hot paths should obtain one from the process-wide Families cache rather
+// than re-deriving it with NewFamily.
 type Family struct {
 	fp     Fp
 	degree int // D: maximum polynomial degree
 	size   int // q^(D+1), clamped to avoid overflow
+	// rows is the precomputed row table: rows[x*q+alpha] = phi_x(alpha)
+	// for all x < rowsFor. rowsFor covers the whole family whenever
+	// Size()*Q() fits in maxRowTableInts (in particular every q*q-sized
+	// terminal family of a recoloring schedule).
+	rows    []int
+	rowsFor int
 }
 
 // NewFamily constructs a polynomial family over F_q with degree bound d.
@@ -34,7 +50,18 @@ func NewFamily(q, d int) (*Family, error) {
 		}
 		size *= q
 	}
-	return &Family{fp: fp, degree: d, size: size}, nil
+	f := &Family{fp: fp, degree: d, size: size}
+	f.rowsFor = size
+	if f.rowsFor > maxRowTableInts/q {
+		f.rowsFor = maxRowTableInts / q
+	}
+	f.rows = make([]int, f.rowsFor*q)
+	for x := 0; x < f.rowsFor; x++ {
+		for alpha := 0; alpha < q; alpha++ {
+			f.rows[x*q+alpha] = f.Eval(x, alpha)
+		}
+	}
+	return f, nil
 }
 
 // MinimalFamily returns the polynomial family over the smallest prime
@@ -78,32 +105,66 @@ func (f *Family) Agreement() int { return f.degree }
 // Size returns the number of functions in the family, q^(D+1).
 func (f *Family) Size() int { return f.size }
 
-// Eval returns phi_x(alpha), for function index x in [0, Size()) and
-// point alpha in [0, Q()). The index is decoded in base q into the
-// coefficient vector of a degree-<=D polynomial.
+// RowsCached returns the number of function indices covered by the
+// precomputed row table (RowView answers those without computing).
+func (f *Family) RowsCached() int { return f.rowsFor }
+
+// Eval returns phi_x(alpha), for function index x and point alpha.
+//
+// Index contract: x must be non-negative (Eval panics otherwise) and is
+// interpreted modulo q^(D+1) — only the D+1 low-order base-q digits of x
+// are read as the coefficient vector c_0..c_D, so Eval(x, alpha) ==
+// Eval(x mod q^(D+1), alpha) for every x >= 0. alpha must lie in
+// [0, Q()). Evaluation is Horner's rule: one multiplication per term.
 func (f *Family) Eval(x, alpha int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("field: negative function index %d", x))
+	}
 	q := f.fp.Q()
-	// Horner's rule over the base-q digits of x, most significant first.
-	// Digits of x in base q are the coefficients c_0..c_D.
-	// phi_x(alpha) = sum c_i alpha^i.
+	// p = q^k for the largest k <= D with q^k <= x; digits above k are
+	// zero (or discarded by the index contract when x >= q^(D+1)), and
+	// leading zeros do not change Horner's accumulation.
+	p := 1
+	for i := 0; i < f.degree && p <= x/q; i++ {
+		p *= q
+	}
+	// Horner, most significant digit first: acc = acc*alpha + c_i.
 	acc := 0
-	powAlpha := 1
-	for i := 0; i <= f.degree; i++ {
-		c := x % q
-		x /= q
-		acc = (acc + c*powAlpha) % q
-		powAlpha = (powAlpha * alpha) % q
+	for ; p > 0; p /= q {
+		acc = (acc*alpha + (x/p)%q) % q
 	}
 	return acc
 }
 
-// Row materializes the value vector (phi_x(0), ..., phi_x(q-1)).
-// Convenient for tests and for nodes that evaluate all points anyway.
-func (f *Family) Row(x int) []int {
+// RowView returns the value vector (phi_x(0), ..., phi_x(q-1)) without
+// allocating: a read-only view into the precomputed row table when
+// x < RowsCached(), otherwise the row is written into scratch (which must
+// have length >= Q()) and scratch[:Q()] is returned. Callers must not
+// write through the returned slice.
+func (f *Family) RowView(x int, scratch []int) []int {
 	q := f.fp.Q()
-	row := make([]int, q)
+	if x < f.rowsFor {
+		return f.rows[x*q : x*q+q : x*q+q]
+	}
+	row := scratch[:q]
 	for alpha := 0; alpha < q; alpha++ {
 		row[alpha] = f.Eval(x, alpha)
 	}
+	return row
+}
+
+// EvalTable exposes the precomputed row table: a flattened
+// RowsCached() x Q() matrix with phi_x(alpha) at index x*Q()+alpha.
+// The returned slice is shared and must not be modified.
+func (f *Family) EvalTable() []int { return f.rows }
+
+// Row materializes the value vector (phi_x(0), ..., phi_x(q-1)).
+// Convenient for tests and for nodes that evaluate all points anyway.
+// Unlike RowView, the returned slice is freshly allocated and owned by
+// the caller.
+func (f *Family) Row(x int) []int {
+	q := f.fp.Q()
+	row := make([]int, q)
+	copy(row, f.RowView(x, row))
 	return row
 }

@@ -16,6 +16,7 @@ type ForestsDecomposition struct {
 	ForestOf   map[[2]int]int
 	NumForests int
 	Rounds     int
+	Messages   int64
 }
 
 // forestAssign: each vertex locally labels its outgoing (parent) edges with
@@ -59,20 +60,21 @@ func Decompose(net *dist.Network, a int, eps Eps) (*ForestsDecomposition, error)
 	if err != nil {
 		return nil, err
 	}
-	return DecomposeWithOrientation(net, or.Sigma, or.Rounds)
+	return DecomposeWithOrientation(net, or.Sigma, or.Rounds, or.Messages)
 }
 
 // DecomposeWithOrientation derives the forests decomposition from an
-// existing acyclic orientation; baseRounds is added to the reported cost.
-func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseRounds int) (*ForestsDecomposition, error) {
+// existing acyclic orientation; baseRounds/baseMessages are added to the
+// reported cost.
+func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseRounds int, baseMessages int64) (*ForestsDecomposition, error) {
 	g := net.Graph()
 	n := g.N()
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
 		nbrs := g.Neighbors(v)
 		flags := make([]bool, len(nbrs))
-		for p, u := range nbrs {
-			flags[p] = sigma.IsParent(v, u)
+		for p := range flags {
+			flags[p] = sigma.IsParentPort(v, p)
 		}
 		inputs[v] = forestAssignInput{ParentPort: flags}
 	}
@@ -108,6 +110,7 @@ func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseR
 		ForestOf:   forestOf,
 		NumForests: numForests,
 		Rounds:     baseRounds + res.Rounds,
+		Messages:   baseMessages + res.Messages,
 	}, nil
 }
 

@@ -142,6 +142,8 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 	n := g.N()
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
+		// Note: these are VISIBLE ports (label/active-filtered), so they do
+		// not align with sigma's graph ports; query by neighbor vertex.
 		ports := dist.VisiblePorts(g, labels, active, v)
 		flags := make([]bool, len(ports))
 		for p, u := range ports {

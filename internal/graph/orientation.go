@@ -26,63 +26,150 @@ var ErrCyclic = errors.New("graph: orientation contains a directed cycle")
 // or left unoriented. The key parameters are its out-degree, its deficit
 // (max number of unoriented edges at a vertex) and its length (longest
 // consistently-directed path).
+//
+// The representation is dense and port-indexed: each vertex stores one
+// Dir per port, aligned with Neighbors(v), and out-degrees and oriented
+// counts are maintained incrementally. The stored Dir is the edge's
+// canonical direction relative to its (min,max) endpoint order and is
+// kept identical at both endpoints, so the representation is canonical:
+// a port holding Unoriented IS the unoriented state (there is no
+// "explicit Unoriented entry" distinct from an absent one, which the old
+// map-backed representation allowed and IsComplete miscounted).
 type Orientation struct {
-	g    *Graph
-	dirs map[[2]int]Dir // keyed by (min,max) endpoint pair; absent = Unoriented
+	g     *Graph
+	flat  []Dir   // backing storage, one entry per (vertex, port)
+	ports [][]Dir // ports[v][p] = canonical Dir of edge {v, Neighbors(v)[p]}
+	// Cached aggregates, maintained by Orient/Unorient.
+	outDeg     []int // outDeg[v] = #edges oriented away from v
+	orientedAt []int // orientedAt[v] = #oriented edges incident to v
+	oriented   int   // #oriented edges overall
 }
 
 // NewOrientation returns the empty (fully unoriented) orientation of g.
 func NewOrientation(g *Graph) *Orientation {
-	return &Orientation{g: g, dirs: make(map[[2]int]Dir, g.M())}
+	flat := make([]Dir, 2*g.M())
+	ports := make([][]Dir, g.N())
+	off := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		ports[v] = flat[off : off+d : off+d]
+		off += d
+	}
+	return &Orientation{
+		g:          g,
+		flat:       flat,
+		ports:      ports,
+		outDeg:     make([]int, g.N()),
+		orientedAt: make([]int, g.N()),
+	}
 }
 
 // Graph returns the underlying graph.
 func (o *Orientation) Graph() *Graph { return o.g }
 
+// edgeTail returns the endpoint the edge {u,v} is oriented away from,
+// given its canonical direction d (which must not be Unoriented).
+func edgeTail(u, v int, d Dir) int {
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if d == Forward {
+		return lo
+	}
+	return hi
+}
+
 // Orient directs the edge {u,v} from u towards v (v becomes a parent of u).
 // It returns an error if {u,v} is not an edge.
 func (o *Orientation) Orient(from, to int) error {
-	if !o.g.HasEdge(from, to) {
+	pf := o.g.PortOf(from, to)
+	if pf < 0 {
 		return fmt.Errorf("graph: (%d,%d) is not an edge", from, to)
 	}
-	if from < to {
-		o.dirs[[2]int{from, to}] = Forward
-	} else {
-		o.dirs[[2]int{to, from}] = Backward
+	pt := o.g.PortOf(to, from)
+	d := Forward
+	if from > to {
+		d = Backward
 	}
+	old := o.ports[from][pf]
+	if old == d {
+		return nil
+	}
+	if old == Unoriented {
+		o.oriented++
+		o.orientedAt[from]++
+		o.orientedAt[to]++
+	} else {
+		o.outDeg[edgeTail(from, to, old)]--
+	}
+	o.outDeg[from]++
+	o.ports[from][pf] = d
+	o.ports[to][pt] = d
 	return nil
 }
 
 // Unorient removes any direction from the edge {u,v}.
 func (o *Orientation) Unorient(u, v int) {
-	if u > v {
-		u, v = v, u
+	pu := o.g.PortOf(u, v)
+	if pu < 0 {
+		return
 	}
-	delete(o.dirs, [2]int{u, v})
+	old := o.ports[u][pu]
+	if old == Unoriented {
+		return
+	}
+	o.outDeg[edgeTail(u, v, old)]--
+	o.oriented--
+	o.orientedAt[u]--
+	o.orientedAt[v]--
+	o.ports[u][pu] = Unoriented
+	o.ports[v][o.g.PortOf(v, u)] = Unoriented
 }
 
 // DirOf returns the direction of edge {u,v} relative to (min,max) order.
 func (o *Orientation) DirOf(u, v int) Dir {
-	if u > v {
-		u, v = v, u
+	p := o.g.PortOf(u, v)
+	if p < 0 {
+		return Unoriented
 	}
-	return o.dirs[[2]int{u, v}]
+	return o.ports[u][p]
 }
 
 // IsParent reports whether p is a parent of c, i.e. edge {c,p} is oriented
 // from c towards p.
 func (o *Orientation) IsParent(c, p int) bool {
-	if c < p {
-		return o.dirs[[2]int{c, p}] == Forward
+	port := o.g.PortOf(c, p)
+	if port < 0 {
+		return false
 	}
-	return o.dirs[[2]int{p, c}] == Backward
+	return o.isParentPort(c, p, port)
 }
+
+// IsParentPort reports whether the neighbor on port p of c is a parent of
+// c. It is the port-indexed fast path of IsParent: O(1), no lookups.
+func (o *Orientation) IsParentPort(c, p int) bool {
+	return o.isParentPort(c, o.g.adj[c][p], p)
+}
+
+func (o *Orientation) isParentPort(c, u, port int) bool {
+	d := o.ports[c][port]
+	if d == Unoriented {
+		return false
+	}
+	return (c < u) == (d == Forward)
+}
+
+// PortDirs returns v's per-port canonical edge directions, aligned with
+// Neighbors(v). The returned slice is owned by the orientation and must
+// not be modified.
+func (o *Orientation) PortDirs(v int) []Dir { return o.ports[v] }
 
 // Parents returns the parents of v (heads of v's outgoing edges), sorted.
 func (o *Orientation) Parents(v int) []int {
 	var out []int
-	for _, u := range o.g.Neighbors(v) {
-		if o.IsParent(v, u) {
+	for p, u := range o.g.adj[v] {
+		if o.isParentPort(v, u, p) {
 			out = append(out, u)
 		}
 	}
@@ -92,45 +179,32 @@ func (o *Orientation) Parents(v int) []int {
 // Children returns the children of v (tails of v's incoming edges), sorted.
 func (o *Orientation) Children(v int) []int {
 	var out []int
-	for _, u := range o.g.Neighbors(v) {
-		if o.IsParent(u, v) {
+	for p, u := range o.g.adj[v] {
+		if o.ports[v][p] != Unoriented && !o.isParentPort(v, u, p) {
 			out = append(out, u)
 		}
 	}
 	return out
 }
 
-// OutDegree returns the out-degree of v under the orientation.
-func (o *Orientation) OutDegree(v int) int {
-	d := 0
-	for _, u := range o.g.Neighbors(v) {
-		if o.IsParent(v, u) {
-			d++
-		}
-	}
-	return d
-}
+// OutDegree returns the out-degree of v under the orientation. O(1).
+func (o *Orientation) OutDegree(v int) int { return o.outDeg[v] }
 
 // MaxOutDegree returns the out-degree of the orientation (Section 2.1).
 func (o *Orientation) MaxOutDegree() int {
 	m := 0
-	for v := 0; v < o.g.N(); v++ {
-		if d := o.OutDegree(v); d > m {
+	for _, d := range o.outDeg {
+		if d > m {
 			m = d
 		}
 	}
 	return m
 }
 
-// Deficit returns the deficit of v: the number of incident unoriented edges.
+// Deficit returns the deficit of v: the number of incident unoriented
+// edges. O(1).
 func (o *Orientation) Deficit(v int) int {
-	d := 0
-	for _, u := range o.g.Neighbors(v) {
-		if o.DirOf(v, u) == Unoriented {
-			d++
-		}
-	}
-	return d
+	return o.g.Degree(v) - o.orientedAt[v]
 }
 
 // MaxDeficit returns the deficit of the orientation (Section 2.1).
@@ -144,9 +218,11 @@ func (o *Orientation) MaxDeficit() int {
 	return m
 }
 
-// IsComplete reports whether every edge is oriented.
+// IsComplete reports whether every edge is oriented. Because the dense
+// representation is canonical (a port is Unoriented iff the edge is),
+// counting oriented edges is exact.
 func (o *Orientation) IsComplete() bool {
-	return len(o.dirs) == o.g.M() && o.MaxDeficit() == 0
+	return o.oriented == o.g.M()
 }
 
 // Lengths returns len_sigma(v) for every vertex: the length of the longest
@@ -278,23 +354,23 @@ func (o *Orientation) Complete() (*Orientation, error) {
 	// i.e. towards the smaller len; ties broken by vertex index, matching a
 	// fixed topological sort.
 	out := NewOrientation(o.g)
-	for e, d := range o.dirs {
-		if d != Unoriented {
-			out.dirs[e] = d
-		}
-	}
-	for _, e := range o.g.Edges() {
-		u, v := e[0], e[1]
-		if o.DirOf(u, v) != Unoriented {
-			continue
-		}
-		// Later in topological order = smaller length; tie-break on larger
-		// index (consistent with sorting (len desc, index asc)).
-		towardsV := lens[v] < lens[u] || (lens[v] == lens[u] && v > u)
-		if towardsV {
-			out.dirs[[2]int{u, v}] = Forward
-		} else {
-			out.dirs[[2]int{u, v}] = Backward
+	copy(out.flat, o.flat)
+	copy(out.outDeg, o.outDeg)
+	copy(out.orientedAt, o.orientedAt)
+	out.oriented = o.oriented
+	for v := 0; v < o.g.N(); v++ {
+		for p, u := range o.g.adj[v] {
+			if v > u || out.ports[v][p] != Unoriented {
+				continue // visit each edge once, from its smaller endpoint
+			}
+			// Later in topological order = smaller length; tie-break on
+			// larger index (consistent with sorting (len desc, index asc)):
+			// with v < u here, ties go towards u.
+			if lens[v] < lens[u] {
+				_ = out.Orient(u, v)
+			} else {
+				_ = out.Orient(v, u)
+			}
 		}
 	}
 	return out, nil

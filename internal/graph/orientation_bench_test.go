@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchOrientation builds a complete towards-larger orientation of a
+// Gnp graph, the shape WaitColor/Arb-Kuhn phases query heavily.
+func benchOrientation(b *testing.B) (*Graph, *Orientation) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := Gnp(1000, 0.01, rng)
+	o := NewOrientation(g)
+	for _, e := range g.Edges() {
+		if err := o.Orient(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g, o
+}
+
+func BenchmarkOrientationIsParent(b *testing.B) {
+	g, o := benchOrientation(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if o.IsParent(v, u) {
+					sum++
+				}
+			}
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkOrientationIsParentPort(b *testing.B) {
+	g, o := benchOrientation(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			for p := range g.Neighbors(v) {
+				if o.IsParentPort(v, p) {
+					sum++
+				}
+			}
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkOrientationOutDegree(b *testing.B) {
+	g, o := benchOrientation(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			sum += o.OutDegree(v)
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkOrientationDeficit(b *testing.B) {
+	g, o := benchOrientation(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			sum += o.Deficit(v)
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkOrientationOrientUnorient(b *testing.B) {
+	g, o := benchOrientation(b)
+	edges := g.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		o.Unorient(e[0], e[1])
+		if err := o.Orient(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

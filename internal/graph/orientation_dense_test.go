@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refOrientation is the seed map-backed representation, kept as the
+// reference the dense port-indexed rewrite is checked against.
+type refOrientation struct {
+	g    *Graph
+	dirs map[[2]int]Dir
+}
+
+func newRefOrientation(g *Graph) *refOrientation {
+	return &refOrientation{g: g, dirs: make(map[[2]int]Dir, g.M())}
+}
+
+func (o *refOrientation) orient(from, to int) {
+	if from < to {
+		o.dirs[[2]int{from, to}] = Forward
+	} else {
+		o.dirs[[2]int{to, from}] = Backward
+	}
+}
+
+func (o *refOrientation) unorient(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	delete(o.dirs, [2]int{u, v})
+}
+
+func (o *refOrientation) dirOf(u, v int) Dir {
+	if u > v {
+		u, v = v, u
+	}
+	return o.dirs[[2]int{u, v}]
+}
+
+func (o *refOrientation) isParent(c, p int) bool {
+	if c < p {
+		return o.dirs[[2]int{c, p}] == Forward
+	}
+	return o.dirs[[2]int{p, c}] == Backward
+}
+
+func (o *refOrientation) outDegree(v int) int {
+	d := 0
+	for _, u := range o.g.Neighbors(v) {
+		if o.isParent(v, u) {
+			d++
+		}
+	}
+	return d
+}
+
+func (o *refOrientation) deficit(v int) int {
+	d := 0
+	for _, u := range o.g.Neighbors(v) {
+		if o.dirOf(v, u) == Unoriented {
+			d++
+		}
+	}
+	return d
+}
+
+func checkAgainstRef(t *testing.T, o *Orientation, ref *refOrientation, opIdx int) {
+	t.Helper()
+	g := o.Graph()
+	oriented := 0
+	for v := 0; v < g.N(); v++ {
+		if got, want := o.OutDegree(v), ref.outDegree(v); got != want {
+			t.Fatalf("op %d: OutDegree(%d) = %d, ref %d", opIdx, v, got, want)
+		}
+		if got, want := o.Deficit(v), ref.deficit(v); got != want {
+			t.Fatalf("op %d: Deficit(%d) = %d, ref %d", opIdx, v, got, want)
+		}
+		for p, u := range g.Neighbors(v) {
+			if got, want := o.DirOf(v, u), ref.dirOf(v, u); got != want {
+				t.Fatalf("op %d: DirOf(%d,%d) = %v, ref %v", opIdx, v, u, got, want)
+			}
+			if got, want := o.IsParent(v, u), ref.isParent(v, u); got != want {
+				t.Fatalf("op %d: IsParent(%d,%d) = %v, ref %v", opIdx, v, u, got, want)
+			}
+			if got, want := o.IsParentPort(v, p), ref.isParent(v, u); got != want {
+				t.Fatalf("op %d: IsParentPort(%d,%d) = %v, ref %v", opIdx, v, p, got, want)
+			}
+			if got, want := o.PortDirs(v)[p], ref.dirOf(v, u); got != want {
+				t.Fatalf("op %d: PortDirs(%d)[%d] = %v, ref %v", opIdx, v, p, got, want)
+			}
+			if v < u && ref.dirOf(v, u) != Unoriented {
+				oriented++
+			}
+		}
+	}
+	if got, want := o.IsComplete(), oriented == g.M(); got != want {
+		t.Fatalf("op %d: IsComplete = %v, ref %v", opIdx, got, want)
+	}
+}
+
+// TestOrientationMatchesMapReference drives random orient / re-orient /
+// flip / unorient sequences through the dense representation and the
+// seed map-backed one, comparing every query after every operation.
+func TestOrientationMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	graphs := []*Graph{
+		Path(12),
+		Grid(5, 5),
+		Complete(8),
+		Gnp(40, 0.15, rng),
+		NewBuilder(3).Build(), // edgeless
+	}
+	for gi, g := range graphs {
+		o := NewOrientation(g)
+		ref := newRefOrientation(g)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			checkAgainstRef(t, o, ref, -1)
+			continue
+		}
+		for op := 0; op < 400; op++ {
+			e := edges[rng.Intn(len(edges))]
+			u, v := e[0], e[1]
+			if rng.Intn(2) == 0 {
+				u, v = v, u
+			}
+			switch rng.Intn(4) {
+			case 0, 1: // orient (possibly re-orienting or flipping)
+				if err := o.Orient(u, v); err != nil {
+					t.Fatalf("graph %d op %d: %v", gi, op, err)
+				}
+				ref.orient(u, v)
+			case 2:
+				o.Unorient(u, v)
+				ref.unorient(u, v)
+			case 3: // same-direction repeat must be idempotent
+				if err := o.Orient(u, v); err != nil {
+					t.Fatalf("graph %d op %d: %v", gi, op, err)
+				}
+				ref.orient(u, v)
+				if err := o.Orient(u, v); err != nil {
+					t.Fatalf("graph %d op %d repeat: %v", gi, op, err)
+				}
+			}
+			checkAgainstRef(t, o, ref, op)
+		}
+	}
+}
+
+// TestOrientUnorientReorient covers the canonical-representation bug the
+// seed IsComplete had: explicit unoriented state must be
+// indistinguishable from never-oriented state, through full
+// orient -> unorient -> re-orient cycles.
+func TestOrientUnorientReorient(t *testing.T) {
+	g := Grid(4, 4)
+	o := NewOrientation(g)
+	for _, e := range g.Edges() {
+		if err := o.Orient(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.IsComplete() {
+		t.Fatal("fully oriented grid not complete")
+	}
+	// Unorient every edge again: back to the empty orientation.
+	for _, e := range g.Edges() {
+		o.Unorient(e[0], e[1])
+	}
+	if o.IsComplete() {
+		t.Fatal("fully unoriented grid reported complete")
+	}
+	if o.MaxOutDegree() != 0 {
+		t.Fatalf("MaxOutDegree = %d after unorienting everything", o.MaxOutDegree())
+	}
+	for v := 0; v < g.N(); v++ {
+		if o.Deficit(v) != g.Degree(v) {
+			t.Fatalf("Deficit(%d) = %d, want full degree %d", v, o.Deficit(v), g.Degree(v))
+		}
+	}
+	// Re-orient in the opposite direction.
+	for _, e := range g.Edges() {
+		if err := o.Orient(e[1], e[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.IsComplete() {
+		t.Fatal("re-oriented grid not complete")
+	}
+	for _, e := range g.Edges() {
+		if !o.IsParent(e[1], e[0]) || o.IsParent(e[0], e[1]) {
+			t.Fatalf("edge %v not re-oriented towards %d", e, e[0])
+		}
+	}
+	// Flip a single edge in place (no unorient): counts must follow.
+	e := g.Edges()[0]
+	before0, before1 := o.OutDegree(e[0]), o.OutDegree(e[1])
+	if err := o.Orient(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	if o.OutDegree(e[0]) != before0+1 || o.OutDegree(e[1]) != before1-1 {
+		t.Fatalf("flip did not move out-degree: (%d,%d) -> (%d,%d)",
+			before0, before1, o.OutDegree(e[0]), o.OutDegree(e[1]))
+	}
+	if !o.IsComplete() {
+		t.Fatal("flip broke completeness accounting")
+	}
+	// Unorient of a non-edge and of an already-unoriented edge are no-ops.
+	o.Unorient(e[0], e[1])
+	o.Unorient(e[0], e[1])
+	o.Unorient(0, g.N()-1)
+	if o.IsComplete() {
+		t.Fatal("complete after unorienting an edge")
+	}
+	if err := o.Orient(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsComplete() {
+		t.Fatal("not complete after re-orienting the last edge")
+	}
+}

@@ -185,17 +185,18 @@ func MeasureWithin(sigma *graph.Orientation, labels []int, active []bool) Stats 
 			continue
 		}
 		out, def := 0, 0
-		for _, u := range g.Neighbors(v) {
+		dirs := sigma.PortDirs(v)
+		for p, u := range g.Neighbors(v) {
 			if !visible(v, u) {
 				continue
 			}
 			switch {
-			case sigma.IsParent(v, u):
-				out++
-			case sigma.IsParent(u, v):
-				// incoming
-			default:
+			case dirs[p] == graph.Unoriented:
 				def++
+			case sigma.IsParentPort(v, p):
+				out++
+			default:
+				// incoming
 			}
 		}
 		if out > s.OutDegree {

@@ -1,0 +1,164 @@
+package recolor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestRecolorOnceMatchesReference proves the memoized zero-alloc step is
+// bit-for-bit identical to the seed implementation across realistic and
+// adversarial (step, color, conflicts) combinations.
+func TestRecolorOnceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	steps := []Step{
+		{Q: 5, D: 1}, {Q: 11, D: 2}, {Q: 23, D: 1}, {Q: 29, D: 3},
+		{Q: 101, D: 2}, {Q: 127, D: 1},
+	}
+	// Include the actual steps of a few planned schedules.
+	for _, plan := range []Schedule{
+		Plan(2000, 24, 0), Plan(100000, 16, 0), Plan(1000, 24, 12),
+	} {
+		steps = append(steps, plan.Steps...)
+	}
+	for _, step := range steps {
+		fam, err := field.Families(step.Q, step.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fam.Size()
+		if m > 1<<20 {
+			m = 1 << 20
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := rng.Intn(m)
+			conflicts := make([]int, rng.Intn(24))
+			for i := range conflicts {
+				if rng.Intn(4) == 0 {
+					conflicts[i] = x // same-colored neighbors carry over
+				} else {
+					conflicts[i] = rng.Intn(m)
+				}
+			}
+			want := recolorOnceRef(step, x, conflicts)
+			got := recolorOnce(step, x, conflicts)
+			if got != want {
+				t.Fatalf("step %+v x=%d conflicts=%v: got %d, ref %d", step, x, conflicts, got, want)
+			}
+		}
+	}
+}
+
+// TestRecolorOnceZeroAllocs asserts the steady-state step loop performs
+// zero allocations: warm scratch + memoized family + reused conflict
+// buffer is the exact shape of Algo.Step after the first round.
+func TestRecolorOnceZeroAllocs(t *testing.T) {
+	for _, step := range []Step{{Q: 23, D: 1}, {Q: 11, D: 2}, {Q: 101, D: 2}} {
+		fam, err := field.Families(step.Q, step.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc stepScratch
+		sc.grow(step.Q)
+		conflicts := []int{3, 88, 121, 40, 501 % fam.Size(), 3, 77, 250, 311, 40}
+		x := 333 % fam.Size()
+		sc.recolorOnce(fam, x, conflicts) // warm up
+		allocs := testing.AllocsPerRun(100, func() {
+			sc.recolorOnce(fam, x, conflicts)
+		})
+		if allocs != 0 {
+			t.Errorf("step %+v: %v allocs/op in steady state, want 0", step, allocs)
+		}
+	}
+}
+
+// TestRecolorOnceZeroAllocsBeyondRowTable covers the fallback path: a
+// first-step family too large for a full row table must still run the
+// step without allocating (rows land in scratch).
+func TestRecolorOnceZeroAllocsBeyondRowTable(t *testing.T) {
+	plan := Plan(100000, 16, 0)
+	step := plan.Steps[0]
+	fam, err := field.Families(step.Q, step.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RowsCached() >= fam.Size() {
+		t.Skipf("step %+v fully cached; fallback not exercised", step)
+	}
+	var sc stepScratch
+	sc.grow(step.Q)
+	x := fam.RowsCached() + 41
+	conflicts := []int{fam.RowsCached() + 7, 12, fam.Size() - 1, fam.RowsCached() + 7}
+	sc.recolorOnce(fam, x, conflicts)
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.recolorOnce(fam, x, conflicts)
+	})
+	if allocs != 0 {
+		t.Errorf("fallback path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestPlanCapBeforeAppend is the regression test for the seed safety
+// net, which appended a 65th step before breaking and silently truncated
+// the schedule: with a cap of c, a truncated plan must hold exactly c
+// steps, be flagged, and fail Validate.
+func TestPlanCapBeforeAppend(t *testing.T) {
+	full := planCapped(1<<60, 1000, 500, maxScheduleSteps)
+	if full.Truncated {
+		t.Fatalf("real schedule truncated: %d steps", len(full.Steps))
+	}
+	if len(full.Steps) < 3 {
+		t.Fatalf("want a multi-step schedule to truncate, got %d steps", len(full.Steps))
+	}
+	for c := 1; c < len(full.Steps); c++ {
+		s := planCapped(1<<60, 1000, 500, c)
+		if !s.Truncated {
+			t.Fatalf("cap=%d: schedule not marked truncated", c)
+		}
+		if len(s.Steps) != c {
+			t.Fatalf("cap=%d: %d steps; the cap must apply before append", c, len(s.Steps))
+		}
+		if err := s.Validate(); err == nil {
+			t.Fatalf("cap=%d: truncated schedule passed Validate", c)
+		}
+	}
+}
+
+// TestPlanNeverTruncatesInPractice sweeps adversarial parameters and
+// checks the O(log* m0) bound keeps every real schedule far below the cap.
+func TestPlanNeverTruncatesInPractice(t *testing.T) {
+	for _, m0 := range []int{2, 1000, 1 << 30, 1 << 62} {
+		for _, deg := range []int{1, 10, 1000, 1 << 20} {
+			for _, d := range []int{0, 1, deg / 2} {
+				s := Plan(m0, deg, d)
+				if s.Truncated {
+					t.Errorf("Plan(%d,%d,%d) truncated", m0, deg, d)
+				}
+				if len(s.Steps) > maxScheduleSteps {
+					t.Errorf("Plan(%d,%d,%d) has %d steps > cap", m0, deg, d, len(s.Steps))
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMemoizationIsStable checks the memoized plan is identical to a
+// fresh computation (same steps, same flags).
+func TestPlanMemoizationIsStable(t *testing.T) {
+	for _, tc := range []struct{ m0, deg, d int }{
+		{2000, 24, 0}, {100000, 16, 0}, {1000, 24, 12},
+	} {
+		cached := Plan(tc.m0, tc.deg, tc.d)
+		again := Plan(tc.m0, tc.deg, tc.d)
+		fresh := planCapped(tc.m0, tc.deg, tc.d, maxScheduleSteps)
+		if len(cached.Steps) != len(fresh.Steps) || cached.Truncated != fresh.Truncated {
+			t.Fatalf("Plan(%d,%d,%d): cached %+v != fresh %+v", tc.m0, tc.deg, tc.d, cached, fresh)
+		}
+		for i := range cached.Steps {
+			if cached.Steps[i] != fresh.Steps[i] || cached.Steps[i] != again.Steps[i] {
+				t.Fatalf("Plan(%d,%d,%d) step %d differs", tc.m0, tc.deg, tc.d, i)
+			}
+		}
+	}
+}

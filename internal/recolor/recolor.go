@@ -2,6 +2,7 @@ package recolor
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/field"
@@ -34,9 +35,28 @@ type Input struct {
 type Algo struct{}
 
 type nodeState struct {
-	plan  Schedule
-	color int
-	step  int
+	plan      Schedule
+	fams      []*field.Family // memoized family per step, shared process-wide
+	color     int
+	step      int
+	conflicts []int // reused inbox filter buffer
+	scratch   stepScratch
+}
+
+// stepScratch holds the per-node reusable buffers of the recoloring step
+// loop; after Init has sized them, a step performs no allocations.
+type stepScratch struct {
+	myRow  []int // fallback row buffer for indices beyond the cached table
+	nbrRow []int
+	agrees []int
+}
+
+func (sc *stepScratch) grow(q int) {
+	if cap(sc.agrees) < q {
+		sc.myRow = make([]int, q)
+		sc.nbrRow = make([]int, q)
+		sc.agrees = make([]int, q)
+	}
 }
 
 // Init derives the node's schedule from its Input and sends the initial
@@ -53,8 +73,14 @@ func (Algo) Init(n *dist.Node) {
 	if color < 0 {
 		color = n.ID() - 1
 	}
+	plan := Plan(in.M0, in.DegBound, in.TargetDefect)
+	if plan.Truncated {
+		panic(fmt.Sprintf("recolor: schedule for (m0=%d, degBound=%d, target=%d) exceeds %d steps; defect guarantee void",
+			in.M0, in.DegBound, in.TargetDefect, maxScheduleSteps))
+	}
 	st := &nodeState{
-		plan:  Plan(in.M0, in.DegBound, in.TargetDefect),
+		plan:  plan,
+		fams:  stepFamilies(plan),
 		color: color,
 	}
 	if in.TargetDefect >= in.DegBound {
@@ -63,6 +89,13 @@ func (Algo) Init(n *dist.Node) {
 		n.Halt()
 		return
 	}
+	maxQ := 0
+	for _, step := range plan.Steps {
+		if step.Q > maxQ {
+			maxQ = step.Q
+		}
+	}
+	st.scratch.grow(maxQ)
 	n.State = st
 	if len(st.plan.Steps) == 0 {
 		n.Output = color
@@ -72,14 +105,31 @@ func (Algo) Init(n *dist.Node) {
 	n.SendAll(color)
 }
 
+// stepFamilies resolves the memoized family of every step once, at Init,
+// so the step loop only indexes a slice.
+func stepFamilies(plan Schedule) []*field.Family {
+	if len(plan.Steps) == 0 {
+		return nil
+	}
+	fams := make([]*field.Family, len(plan.Steps))
+	for i, step := range plan.Steps {
+		fam, err := field.Families(step.Q, step.D)
+		if err != nil {
+			// Unreachable: schedules only contain prime moduli (Validate).
+			panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
+		}
+		fams[i] = fam
+	}
+	return fams
+}
+
 // Step executes one recoloring round.
 func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 	st := n.State.(*nodeState)
 	in := n.Input.(Input)
-	plan := st.plan.Steps[st.step]
 
-	// Gather conflict-neighbor colors.
-	conflicts := make([]int, 0, len(inbox))
+	// Gather conflict-neighbor colors into the reused buffer.
+	st.conflicts = st.conflicts[:0]
 	for p, m := range inbox {
 		if m == nil {
 			continue
@@ -87,10 +137,10 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 		if in.ParentPort != nil && (p >= len(in.ParentPort) || !in.ParentPort[p]) {
 			continue
 		}
-		conflicts = append(conflicts, m.(int))
+		st.conflicts = append(st.conflicts, m.(int))
 	}
 
-	st.color = recolorOnce(plan, st.color, conflicts)
+	st.color = st.scratch.recolorOnce(st.fams[st.step], st.color, st.conflicts)
 	st.step++
 	if st.step < len(st.plan.Steps) {
 		n.SendAll(st.color)
@@ -102,30 +152,31 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 
 // recolorOnce applies one Step: pick alpha minimizing agreements with
 // differently-colored conflict neighbors and return alpha*q + phi_x(alpha).
-func recolorOnce(step Step, x int, conflictColors []int) int {
-	fam, err := field.NewFamily(step.Q, step.D)
-	if err != nil {
-		// Unreachable: schedules only contain prime moduli (Validate).
-		panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
-	}
-	q := step.Q
-	myRow := fam.Row(x)
-	agrees := make([]int, q)
-	// Deduplicate conflict colors: agreement counts are per neighbor, so we
-	// must weight by multiplicity; cache rows per distinct color.
-	rows := make(map[int][]int, len(conflictColors))
-	for _, y := range conflictColors {
+// It sorts conflictColors in place to weight each distinct color by its
+// multiplicity (agreement counts are per neighbor) while materializing
+// every row at most once, and performs no allocations: rows are views
+// into the family's precomputed table or the scratch buffers.
+func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []int) int {
+	q := fam.Q()
+	myRow := fam.RowView(x, sc.myRow)
+	agrees := sc.agrees[:q]
+	clear(agrees)
+	slices.Sort(conflictColors)
+	for i := 0; i < len(conflictColors); {
+		y := conflictColors[i]
+		j := i + 1
+		for j < len(conflictColors) && conflictColors[j] == y {
+			j++
+		}
+		mult := j - i
+		i = j
 		if y == x {
 			continue // same-colored neighbors carry over (Appendix B)
 		}
-		row, ok := rows[y]
-		if !ok {
-			row = fam.Row(y)
-			rows[y] = row
-		}
+		row := fam.RowView(y, sc.nbrRow)
 		for alpha := 0; alpha < q; alpha++ {
 			if row[alpha] == myRow[alpha] {
-				agrees[alpha]++
+				agrees[alpha] += mult
 			}
 		}
 	}
@@ -138,6 +189,20 @@ func recolorOnce(step Step, x int, conflictColors []int) int {
 	return bestAlpha*q + myRow[bestAlpha]
 }
 
+// recolorOnce is the convenience form used by tests: it resolves the
+// memoized family for the step and runs the zero-alloc core on fresh
+// scratch. The caller's conflictColors slice is not modified.
+func recolorOnce(step Step, x int, conflictColors []int) int {
+	fam, err := field.Families(step.Q, step.D)
+	if err != nil {
+		panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
+	}
+	var sc stepScratch
+	sc.grow(step.Q)
+	conflicts := append([]int(nil), conflictColors...)
+	return sc.recolorOnce(fam, x, conflicts)
+}
+
 // Result reports a whole-graph recoloring run.
 type Result struct {
 	Colors   []int
@@ -148,6 +213,10 @@ type Result struct {
 
 // run executes the algorithm with uniform inputs on all (active) vertices.
 func run(net *dist.Network, in Input, parentPorts [][]bool) (Result, error) {
+	plan := Plan(in.M0, in.DegBound, in.TargetDefect)
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
 	n := net.Graph().N()
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -167,7 +236,7 @@ func run(net *dist.Network, in Input, parentPorts [][]bool) (Result, error) {
 	}
 	return Result{
 		Colors:   colors,
-		Schedule: Plan(in.M0, in.DegBound, in.TargetDefect),
+		Schedule: plan,
 		Rounds:   res.Rounds,
 		Messages: res.Messages,
 	}, nil
@@ -230,10 +299,9 @@ func ArbKuhn(net *dist.Network, sigma *graph.Orientation, d int) (Result, error)
 func ParentPortFlags(g *graph.Graph, sigma *graph.Orientation) [][]bool {
 	out := make([][]bool, g.N())
 	for v := 0; v < g.N(); v++ {
-		nbrs := g.Neighbors(v)
-		flags := make([]bool, len(nbrs))
-		for p, u := range nbrs {
-			flags[p] = sigma.IsParent(v, u)
+		flags := make([]bool, len(g.Neighbors(v)))
+		for p := range flags {
+			flags[p] = sigma.IsParentPort(v, p)
 		}
 		out[v] = flags
 	}

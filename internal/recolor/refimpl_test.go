@@ -1,0 +1,67 @@
+package recolor
+
+// This file preserves the seed implementation of the recoloring step,
+// verbatim in behavior, as a reference: the equivalence tests prove the
+// memoized zero-alloc path produces bit-for-bit identical colors, and
+// BenchmarkRecolorOnceRef keeps the pre-change baseline measurable.
+
+// refFamily mirrors the seed field.Family: per-call construction, power
+// accumulation instead of Horner, freshly allocated rows.
+type refFamily struct {
+	q      int
+	degree int
+}
+
+func newRefFamily(q, d int) refFamily { return refFamily{q: q, degree: d} }
+
+func (f refFamily) eval(x, alpha int) int {
+	acc := 0
+	powAlpha := 1
+	for i := 0; i <= f.degree; i++ {
+		c := x % f.q
+		x /= f.q
+		acc = (acc + c*powAlpha) % f.q
+		powAlpha = (powAlpha * alpha) % f.q
+	}
+	return acc
+}
+
+func (f refFamily) row(x int) []int {
+	row := make([]int, f.q)
+	for alpha := 0; alpha < f.q; alpha++ {
+		row[alpha] = f.eval(x, alpha)
+	}
+	return row
+}
+
+// recolorOnceRef is the seed recolorOnce: re-derives the family and
+// re-materializes rows per call, deduplicating conflict colors in a map.
+func recolorOnceRef(step Step, x int, conflictColors []int) int {
+	fam := newRefFamily(step.Q, step.D)
+	q := step.Q
+	myRow := fam.row(x)
+	agrees := make([]int, q)
+	rows := make(map[int][]int, len(conflictColors))
+	for _, y := range conflictColors {
+		if y == x {
+			continue
+		}
+		row, ok := rows[y]
+		if !ok {
+			row = fam.row(y)
+			rows[y] = row
+		}
+		for alpha := 0; alpha < q; alpha++ {
+			if row[alpha] == myRow[alpha] {
+				agrees[alpha]++
+			}
+		}
+	}
+	bestAlpha := 0
+	for alpha := 1; alpha < q; alpha++ {
+		if agrees[alpha] < agrees[bestAlpha] {
+			bestAlpha = alpha
+		}
+	}
+	return bestAlpha*q + myRow[bestAlpha]
+}

@@ -22,12 +22,20 @@ package recolor
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/field"
 )
 
 // maxDegreeSearch bounds the polynomial-degree search per step.
 const maxDegreeSearch = 64
+
+// maxScheduleSteps bounds the number of steps a schedule may contain.
+// Real schedules are O(log* m0) and never approach it; hitting the cap
+// means the planner failed to converge, and the resulting schedule is
+// marked Truncated (its defect guarantee is void, and Validate rejects
+// it) instead of being silently cut short.
+const maxScheduleSteps = 64
 
 // Step is one recoloring round: use the polynomial family over F_q with
 // degree bound D; after the step the cumulative defect bound is DefectOut
@@ -49,6 +57,10 @@ type Schedule struct {
 	TargetDefect int
 	// Steps is the per-round plan; empty when the input already suffices.
 	Steps []Step
+	// Truncated reports that planning hit maxScheduleSteps before
+	// converging: the schedule's defect guarantee does not hold, and
+	// Validate returns an error for it.
+	Truncated bool
 }
 
 // FinalColors returns the number of colors after executing the schedule.
@@ -69,6 +81,10 @@ func (s Schedule) Rounds() int { return len(s.Steps) }
 // Validate checks the per-step pigeonhole preconditions; it is used by
 // tests and by callers composing schedules.
 func (s Schedule) Validate() error {
+	if s.Truncated {
+		return fmt.Errorf("recolor: schedule for (m0=%d, degBound=%d, target=%d) truncated at %d steps; defect guarantee void",
+			s.M0, s.DegBound, s.TargetDefect, len(s.Steps))
+	}
 	m := s.M0
 	dIn := 0
 	for i, st := range s.Steps {
@@ -155,6 +171,32 @@ func minDeltaForQ(q, d, degBound, dIn int) int {
 // color count ~NextPrime(degBound+1)^2 = O(degBound^2); for targetDefect =
 // floor(degBound/p) it gives O(p^2) colors. Steps number O(log* m0).
 func Plan(m0, degBound, targetDefect int) Schedule {
+	key := planKey{m0, degBound, targetDefect}
+	planMu.RLock()
+	s, ok := planCache[key]
+	planMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = planCapped(m0, degBound, targetDefect, maxScheduleSteps)
+	planMu.Lock()
+	planCache[key] = s
+	planMu.Unlock()
+	return s
+}
+
+// planKey identifies a schedule by the parameters every node derives it
+// from; all nodes of a run share one memoized (immutable) plan.
+type planKey struct{ m0, degBound, targetDefect int }
+
+var (
+	planMu    sync.RWMutex
+	planCache = map[planKey]Schedule{}
+)
+
+// planCapped computes the schedule with an explicit step cap (tests use a
+// small cap to exercise the truncation path).
+func planCapped(m0, degBound, targetDefect, maxSteps int) Schedule {
 	s := Schedule{M0: m0, DegBound: degBound, TargetDefect: targetDefect}
 	if degBound < 0 || m0 < 1 {
 		return s
@@ -205,12 +247,17 @@ func Plan(m0, degBound, targetDefect int) Schedule {
 				break // terminal: no step reduces the color count
 			}
 		}
+		if len(s.Steps) >= maxSteps {
+			// Cap BEFORE appending: a truncated schedule must not carry a
+			// step past the cap, and the truncation must be surfaced
+			// (Validate rejects it) rather than silently voiding the
+			// defect guarantee.
+			s.Truncated = true
+			break
+		}
 		s.Steps = append(s.Steps, best)
 		m = best.Q * best.Q
 		dCur = best.DefectOut
-		if len(s.Steps) > 64 {
-			break // safety net; schedules are O(log* m0) in practice
-		}
 	}
 	return s
 }
