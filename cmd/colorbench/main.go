@@ -5,18 +5,29 @@
 // experiment row (JSON Lines: colors, rounds, messages, wall time) for
 // CI trend tracking.
 //
+// With -scale it instead runs the large-graph experiment: generate (or
+// load, see -graph) a forest-union instance through the DCG1 binary
+// format and run Legal-Coloring end to end on the columnar batch
+// transport, recording wall time and heap allocations. A nonzero
+// -scale-shadow-n additionally runs both transports at that size and
+// fails unless the colorings match bit for bit.
+//
 // Usage:
 //
 //	colorbench [-n vertices] [-seed s] [-exp E07] [-json]
+//	colorbench -scale [-scale-n 1000000] [-scale-a 8] [-scale-p 4]
+//	           [-graph g.bin] [-scale-shadow-n 100000] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 )
 
@@ -32,7 +43,17 @@ func run() error {
 	seed := flag.Int64("seed", experiments.DefaultSizes.Seed, "base RNG seed")
 	exp := flag.String("exp", "", "run a single experiment (e.g. E07)")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per row (JSON Lines) instead of the table")
+	scale := flag.Bool("scale", false, "run the large-graph batch-delivery experiment instead of the suite")
+	scaleN := flag.Int("scale-n", 1_000_000, "scale run: vertex count of the generated instance")
+	scaleA := flag.Int("scale-a", 8, "scale run: arboricity (forests in the union and the Legal-Coloring bound)")
+	scaleP := flag.Int("scale-p", 4, "scale run: Legal-Coloring refinement parameter p")
+	graphPath := flag.String("graph", "", "scale run: prebuilt graph file (DCG1 binary or text edge list)")
+	shadowN := flag.Int("scale-shadow-n", 100_000, "scale run: also cross-check batch vs boxed transports at this size (0 disables)")
 	flag.Parse()
+
+	if *scale {
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *jsonOut)
+	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
 	suite := experiments.List()
@@ -82,6 +103,71 @@ func run() error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d experiments violated their bound", bad)
+	}
+	return nil
+}
+
+// runScale executes the scale experiment: an optional batch-vs-boxed
+// shadow pair at shadowN, then the full-size run on the batch transport.
+// All records go to the JSON-Lines stream (or a readable text line).
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, jsonOut bool) error {
+	var recs []experiments.Record
+	emit := func(res *experiments.ScaleResult) {
+		recs = append(recs, res.Record)
+		if !jsonOut {
+			r := res.Record
+			fmt.Printf("SCALE %-28s %-22s delivery=%-5s colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB ok=%v\n",
+				r.Workload, r.Params, r.Delivery, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.OK)
+		}
+	}
+
+	if shadowN > 0 {
+		// The shadow pair checks transport equivalence, so it always runs
+		// on a generated instance of its own (manageable) size, even when
+		// the full run loads a prebuilt graph.
+		base := experiments.ScaleOptions{N: shadowN, Arboricity: a, P: p, Seed: seed}
+		batchOpt, boxedOpt := base, base
+		batchOpt.Delivery = dist.DeliveryBatch
+		boxedOpt.Delivery = dist.DeliveryBoxed
+		batch, err := experiments.ScaleRun(batchOpt)
+		if err != nil {
+			return fmt.Errorf("shadow batch run: %w", err)
+		}
+		emit(batch)
+		boxed, err := experiments.ScaleRun(boxedOpt)
+		if err != nil {
+			return fmt.Errorf("shadow boxed run: %w", err)
+		}
+		emit(boxed)
+		if !slices.Equal(batch.Colors, boxed.Colors) {
+			return fmt.Errorf("shadow run at n=%d: batch and boxed colorings diverge", shadowN)
+		}
+		if batch.Record.Messages != boxed.Record.Messages || batch.Record.Rounds != boxed.Record.Rounds {
+			return fmt.Errorf("shadow run at n=%d: counters diverge (rounds %d/%d, messages %d/%d)",
+				shadowN, batch.Record.Rounds, boxed.Record.Rounds, batch.Record.Messages, boxed.Record.Messages)
+		}
+		if !jsonOut {
+			fmt.Printf("shadow ok: batch == boxed bit-for-bit at n=%d\n", batch.Record.N)
+		}
+	}
+
+	full, err := experiments.ScaleRun(experiments.ScaleOptions{
+		N: n, Arboricity: a, P: p, Seed: seed, GraphPath: graphPath, Delivery: dist.DeliveryBatch,
+	})
+	if err != nil {
+		return err
+	}
+	emit(full)
+
+	if jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, recs); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		if !r.OK {
+			return fmt.Errorf("scale run %s %s produced an illegal coloring: %s", r.Workload, r.Params, r.Note)
+		}
 	}
 	return nil
 }

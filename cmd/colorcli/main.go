@@ -6,9 +6,11 @@
 //	colorcli [-algo oa|tradeoff|fast|at|oneshot|linial|delta1|be08|mis|luby]
 //	         [-a arboricity] [-p param] [-mu exponent] [-seed s] [file]
 //
-// The input format is "n m" on the first line then one "u v" edge per
-// line (0-based); '#' comments allowed. Output: one "vertex color" line
-// per vertex plus a summary on stderr.
+// The input is either the text edge list — "n m" on the first line then
+// one "u v" edge per line (0-based), '#' comments allowed — or the DCG1
+// binary format written by graphgen -binary; the loader sniffs the
+// magic. Output: one "vertex color" line per vertex plus a summary on
+// stderr.
 package main
 
 import (
@@ -44,7 +46,7 @@ func run() error {
 		defer f.Close()
 		in = f
 	}
-	g, err := distcolor.ReadEdgeList(in)
+	g, err := distcolor.Load(in)
 	if err != nil {
 		return err
 	}

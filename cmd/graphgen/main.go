@@ -1,10 +1,12 @@
-// Graphgen writes benchmark graphs in the edge-list format consumed by
-// colorcli.
+// Graphgen writes benchmark graphs in the text edge-list format consumed
+// by colorcli, or (with -binary) in the sharded DCG1 binary format that
+// the streaming loader and `colorbench -scale -graph` consume — the
+// right choice for million-vertex instances.
 //
 // Usage:
 //
 //	graphgen -family forest|gnp|star-forest|powerlaw|regular|unitdisk|tree|grid
-//	         [-n vertices] [-k param] [-p prob] [-seed s] [-o file]
+//	         [-n vertices] [-k param] [-p prob] [-seed s] [-binary] [-o file]
 package main
 
 import (
@@ -29,6 +31,7 @@ func run() error {
 	k := flag.Int("k", 4, "family parameter (forests, attachment degree, hub degree, ...)")
 	p := flag.Float64("p", 0.01, "edge probability (gnp) or radius (unitdisk)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	binOut := flag.Bool("binary", false, "write the DCG1 binary format instead of the text edge list")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -67,7 +70,12 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if err := g.WriteEdgeList(w); err != nil {
+	if *binOut {
+		err = g.WriteBinary(w)
+	} else {
+		err = g.WriteEdgeList(w)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "%s: n=%d m=%d Delta=%d degeneracy=%d\n",

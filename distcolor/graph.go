@@ -25,8 +25,24 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n, edges) }
 
-// ReadEdgeList parses the "n m" + "u v" edge-list format.
+// ReadEdgeList parses the "n m" + "u v" edge-list format. Parse errors
+// carry 1-based line numbers, and a missing or implausible "n m" header
+// is reported explicitly.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// ReadBinary parses the sharded DCG1 binary graph format through a
+// chunked streaming reader — the large-instance companion of the text
+// edge list (see graphgen -binary).
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// OpenBinary loads a DCG1 binary graph file.
+func OpenBinary(path string) (*Graph, error) { return graph.OpenBinary(path) }
+
+// Load reads a graph in either supported format, sniffing the DCG1 magic.
+func Load(r io.Reader) (*Graph, error) { return graph.Load(r) }
+
+// LoadFile reads a graph file in either supported format.
+func LoadFile(path string) (*Graph, error) { return graph.LoadFile(path) }
 
 // LogStar returns log* n.
 func LogStar(n int) int { return graph.LogStar(n) }

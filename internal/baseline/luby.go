@@ -35,7 +35,7 @@ type lubyState struct {
 }
 
 func (a lubyAlgo) Init(n *dist.Node) {
-	st := &lubyState{rng: rand.New(rand.NewSource(a.seed ^ int64(n.ID())*0x1E3779B97F4A7C15))}
+	st := &lubyState{rng: rand.New(rand.NewSource(nodeSeed(a.seed, n.ID(), tagLuby)))}
 	n.State = st
 	st.myVal = lubyValue{X: st.rng.Int63(), ID: n.ID()}
 	n.SendAll(st.myVal)
@@ -92,7 +92,9 @@ type LubyResult struct {
 }
 
 // LubyMIS runs Luby's randomized MIS. The seed makes runs reproducible;
-// per-node randomness is derived from (seed, id).
+// per-node randomness is derived from (seed, id, algorithm tag) through
+// a splitmix64 finalizer, so streams are independent across nodes and
+// across the randomized baselines sharing a seed.
 func LubyMIS(net *dist.Network, seed int64) (*LubyResult, error) {
 	res, err := net.Run(lubyAlgo{seed: seed}, dist.RunOptions{})
 	if err != nil {

@@ -35,7 +35,7 @@ type rcState struct {
 
 func (a randColorAlgo) Init(n *dist.Node) {
 	st := &rcState{
-		rng:   rand.New(rand.NewSource(a.seed ^ int64(n.ID())*0x5851F42D4C957F2D)),
+		rng:   rand.New(rand.NewSource(nodeSeed(a.seed, n.ID(), tagRandColor))),
 		taken: make(map[int]bool),
 	}
 	n.State = st

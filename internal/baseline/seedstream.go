@@ -1,0 +1,34 @@
+package baseline
+
+// Per-node RNG stream derivation shared by the randomized baselines.
+//
+// The seed implementations derived node streams as seed ^ id*C with a
+// different odd constant C per algorithm. That leaves the low bits
+// correlated across nodes (bit k of id*C depends only on bits <= k of
+// id, so e.g. bit 0 simply alternates with the node id) and couples the
+// streams of different algorithms run with the same base seed. Instead,
+// every (seed, algorithm, id) triple now passes through a splitmix64
+// finalizer chain, whose output bits are uniformly mixed functions of
+// the whole input.
+
+// Distinct per-algorithm tags keep streams independent across algorithms
+// sharing a base seed.
+const (
+	tagLuby      = 0x4c7562794d495331 // "LubyMIS1"
+	tagRandColor = 0x52616e64436f6c31 // "RandCol1"
+)
+
+// mix64 is the splitmix64 finalizer (Steele, Lea, Flood, "Fast
+// Splittable Pseudorandom Number Generators", OOPSLA'14).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nodeSeed derives the RNG seed of the node with the given LOCAL-model
+// identifier for one algorithm run.
+func nodeSeed(seed int64, id int, tag uint64) int64 {
+	return int64(mix64(mix64(uint64(seed)^tag) + uint64(id)))
+}

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNodeSeedDecorrelatesLowBits is the regression for the seed ^ id*C
+// derivation: there, bit 0 of consecutive node seeds alternated exactly
+// with the node id (and generally bit k depended only on bits <= k of
+// id). The finalized derivation must keep every low bit near balance and
+// uncorrelated with the id's parity.
+func TestNodeSeedDecorrelatesLowBits(t *testing.T) {
+	const nodes = 1 << 12
+	for bit := 0; bit < 8; bit++ {
+		ones, matchIDParity := 0, 0
+		for id := 1; id <= nodes; id++ {
+			b := int(nodeSeed(1, id, tagLuby)>>uint(bit)) & 1
+			ones += b
+			if b == id&1 {
+				matchIDParity++
+			}
+		}
+		// The old scheme scores ones = nodes/2 but matchIDParity = 0 or
+		// nodes at bit 0. Require both statistics within 6 sigma of n/2.
+		slack := 6 * 32 // 6 * sqrt(4096)/... ~ 6*64/2; generous band: n/2 +- 384
+		if ones < nodes/2-slack || ones > nodes/2+slack {
+			t.Errorf("bit %d: %d/%d ones", bit, ones, nodes)
+		}
+		if matchIDParity < nodes/2-slack || matchIDParity > nodes/2+slack {
+			t.Errorf("bit %d: correlates with id parity %d/%d", bit, matchIDParity, nodes)
+		}
+	}
+}
+
+func TestNodeSeedDistinctAcrossNodesAndAlgorithms(t *testing.T) {
+	seen := make(map[int64]bool)
+	for id := 1; id <= 10000; id++ {
+		for _, tag := range []uint64{tagLuby, tagRandColor} {
+			s := nodeSeed(42, id, tag)
+			if seen[s] {
+				t.Fatalf("seed collision at id=%d tag=%#x", id, tag)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestAlgorithmStreamsIndependent is the cross-algorithm half of the
+// fix: with the same base seed, a node's first draws for Luby and for
+// the randomized coloring must not track each other.
+func TestAlgorithmStreamsIndependent(t *testing.T) {
+	agree := 0
+	const nodes = 2048
+	for id := 1; id <= nodes; id++ {
+		a := rand.New(rand.NewSource(nodeSeed(7, id, tagLuby))).Int63()
+		b := rand.New(rand.NewSource(nodeSeed(7, id, tagRandColor))).Int63()
+		if a&1 == b&1 {
+			agree++
+		}
+	}
+	if agree < nodes/2-300 || agree > nodes/2+300 {
+		t.Errorf("first-draw parity agreement %d/%d, want near half", agree, nodes)
+	}
+}

@@ -1,0 +1,233 @@
+package dist
+
+import "fmt"
+
+// This file implements the columnar batch transport: vertex programs whose
+// messages are a fixed number of int64 words exchange them through two
+// process-wide word columns (one per round parity) indexed by the engine's
+// port tables, instead of boxing every message into the per-node []any
+// buffers. The []any path remains the compatible fallback; the two
+// transports are observationally identical (same outputs, rounds and
+// message counts) and the equivalence is pinned by shadow tests.
+//
+// Layout. Every active vertex v owns the contiguous slot range
+// [base[v], base[v]+deg(v)) of the columnar port space, one slot per
+// visible port, deg summed over the label/active-filtered subgraph. A
+// round-parity column holds W = MessageWords() int64 words per slot plus
+// one sent flag per slot. Sending writes the node's own slots; delivery
+// reads the neighbor's slot for the previous parity through the
+// precomputed inSlots table (the columnar analogue of the peer table), so
+// a round performs no per-message allocation and no pointer chasing
+// beyond two flat arrays.
+
+// Delivery selects the message transport of a Run.
+type Delivery int
+
+const (
+	// DeliveryAuto (the default) uses the batch transport exactly when
+	// the algorithm implements FixedWidthAlgorithm, and the []any
+	// fallback otherwise. A Network-level preference set with
+	// WithDelivery resolves Auto first.
+	DeliveryAuto Delivery = iota
+	// DeliveryBoxed forces the []any fallback path (the algorithm's
+	// Init/Step methods), even for fixed-width algorithms. Shadow tests
+	// use it as the reference transport.
+	DeliveryBoxed
+	// DeliveryBatch requires the batch transport; Run fails if the
+	// algorithm is not fixed-width.
+	DeliveryBatch
+)
+
+func (d Delivery) String() string {
+	switch d {
+	case DeliveryAuto:
+		return "auto"
+	case DeliveryBoxed:
+		return "boxed"
+	case DeliveryBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("delivery(%d)", int(d))
+	}
+}
+
+// FixedWidthAlgorithm is a vertex program whose messages all consist of
+// exactly MessageWords() int64 words, letting the engine deliver them
+// through the columnar batch transport. The embedded Algorithm methods
+// are the boxed fallback implementation of the same program: both views
+// must implement identical behavior (send on the same ports in the same
+// rounds, halt at the same time, produce the same outputs), which shadow
+// tests verify bit-for-bit by running one transport against the other.
+type FixedWidthAlgorithm interface {
+	Algorithm
+	// MessageWords returns the fixed per-message word count W >= 1.
+	// It must be constant across the run.
+	MessageWords() int
+	// InitWords is Init on the batch transport: send with SendWord /
+	// SendWords / SendAllWord instead of Send / SendAll.
+	InitWords(n *Node)
+	// StepWords is Step on the batch transport; inbox is the columnar
+	// view of the words received this round.
+	StepWords(n *Node, inbox WordInbox)
+}
+
+// WordInbox is the batch-transport inbox: a by-value view of the previous
+// round's word column restricted to one node's visible ports. Port p of
+// the inbox corresponds to the same visible neighbor as inbox[p] on the
+// boxed path.
+type WordInbox struct {
+	width int
+	words []int64 // previous parity's full word column
+	sent  []uint8 // previous parity's sent flags, one per slot
+	slots []int32 // per-port slot of the sending neighbor
+}
+
+// Ports returns the number of visible ports (the node's degree).
+func (in WordInbox) Ports() int { return len(in.slots) }
+
+// Has reports whether the neighbor on port p sent a message last round
+// (the boxed path's inbox[p] != nil).
+func (in WordInbox) Has(p int) bool { return in.sent[in.slots[p]] != 0 }
+
+// Word returns the first word of port p's message. Meaningful only when
+// Has(p); the value is unspecified otherwise.
+func (in WordInbox) Word(p int) int64 {
+	return in.words[int(in.slots[p])*in.width]
+}
+
+// Words returns the full W-word message on port p as a view into the
+// engine's column. The slice is valid only during the current StepWords
+// call and must not be retained or written.
+func (in WordInbox) Words(p int) []int64 {
+	s := int(in.slots[p]) * in.width
+	return in.words[s : s+in.width : s+in.width]
+}
+
+// SendWords marks the given visible port as sending this round and
+// returns its W-word outbox slot, zeroed at the first mark of the round;
+// the caller fills in the words. Subsequent calls in the same round
+// return the same slot (overwrite semantics, like Send).
+func (n *Node) SendWords(port int) []int64 {
+	if port < 0 || port >= len(n.ports) {
+		panic(fmt.Sprintf("dist: node id=%d sends on port %d of %d", n.id, port, len(n.ports)))
+	}
+	if n.wout == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls SendWords outside the batch transport (use Send)", n.id))
+	}
+	s := port * n.width
+	out := n.wout[s : s+n.width : s+n.width]
+	if n.wmark[port] == 0 {
+		n.wmark[port] = 1
+		n.sent++
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// SendWord sends the one-word message w on the given visible port. The
+// algorithm's width must be 1 (use SendWords for wider messages).
+func (n *Node) SendWord(port int, w int64) {
+	if n.width != 1 {
+		panic(fmt.Sprintf("dist: node id=%d uses SendWord with %d-word messages", n.id, n.width))
+	}
+	if port < 0 || port >= len(n.ports) {
+		panic(fmt.Sprintf("dist: node id=%d sends on port %d of %d", n.id, port, len(n.ports)))
+	}
+	if n.wout == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls SendWord outside the batch transport (use Send)", n.id))
+	}
+	if n.wmark[port] == 0 {
+		n.wmark[port] = 1
+		n.sent++
+	}
+	n.wout[port] = w
+}
+
+// SendAllWord sends the one-word message w on every visible port.
+func (n *Node) SendAllWord(w int64) {
+	for p := range n.ports {
+		n.SendWord(p, w)
+	}
+}
+
+// initBatch sizes the columnar state of a batch run: slot bases over the
+// live set, the inSlots delivery table, and the two round-parity columns.
+func (s *simulation) initBatch(fw FixedWidthAlgorithm) error {
+	w := fw.MessageWords()
+	if w < 1 {
+		return fmt.Errorf("dist: fixed-width algorithm declares %d message words", w)
+	}
+	s.fw = fw
+	s.width = w
+	n := s.net.g.N()
+	s.base = make([]int, n)
+	total := 0
+	for _, v := range s.live {
+		s.nodes[v].width = w
+		s.base[v] = total
+		total += len(s.nodes[v].ports)
+	}
+	const maxSlots = 1 << 31
+	if total >= maxSlots/w {
+		return fmt.Errorf("dist: batch transport needs %d word slots (max %d)", total, maxSlots/w)
+	}
+	// inSlots[v][p] = the slot neighbor u = ports[v][p] writes for v:
+	// u's base plus v's position in u's port list (the peer table).
+	s.inSlots = make([][]int32, n)
+	flat := make([]int32, total)
+	for _, v := range s.live {
+		deg := len(s.nodes[v].ports)
+		b := s.base[v]
+		slots := flat[b : b+deg : b+deg]
+		for p, u := range s.nodes[v].ports {
+			slots[p] = int32(s.base[u] + s.peer[v][p])
+		}
+		s.inSlots[v] = slots
+	}
+	for i := 0; i < 2; i++ {
+		s.wwords[i] = make([]int64, total*w)
+		s.wsent[i] = make([]uint8, total)
+	}
+	return nil
+}
+
+// stepSliceBatch is stepSlice on the batch transport.
+func (s *simulation) stepSliceBatch(r, lo, hi int) {
+	w := s.width
+	cur := r % 2
+	words := s.wwords[cur]
+	sent := s.wsent[cur]
+	in := WordInbox{width: w, words: s.wwords[1-cur], sent: s.wsent[1-cur]}
+	for i := lo; i < hi; i++ {
+		v := s.live[i]
+		nd := s.nodes[v]
+		nd.round = r
+		b := s.base[v]
+		deg := len(nd.ports)
+		nd.wout = words[b*w : (b+deg)*w : (b+deg)*w]
+		nd.wmark = sent[b : b+deg : b+deg]
+		clear(nd.wmark)
+		if r == 0 {
+			s.fw.InitWords(nd)
+			continue
+		}
+		in.slots = s.inSlots[v]
+		s.fw.StepWords(nd, in)
+	}
+}
+
+// flushHaltClears zeroes the sent flags of nodes that halted in the
+// previous round, in both parities. It runs between rounds, after the
+// halting sends have been delivered: a halted node no longer steps, so
+// nothing else clears the stale flags its final rounds left behind.
+func (s *simulation) flushHaltClears() {
+	for _, v := range s.clearQ {
+		b := s.base[v]
+		deg := len(s.nodes[v].ports)
+		clear(s.wsent[0][b : b+deg])
+		clear(s.wsent[1][b : b+deg])
+	}
+	s.clearQ = s.clearQ[:0]
+}

@@ -53,6 +53,10 @@ type RunOptions struct {
 	// MaxRounds bounds the number of Step rounds; exceeding it aborts the
 	// run with ErrMaxRounds. Zero means the (very large) engine default.
 	MaxRounds int
+	// Delivery selects the message transport (see the Delivery constants).
+	// The zero value resolves to the batch transport exactly when the
+	// algorithm implements FixedWidthAlgorithm.
+	Delivery Delivery
 }
 
 // Result reports a completed run.
@@ -81,9 +85,14 @@ type Node struct {
 	round int
 	ports []int
 	// bufs are the double-buffered per-port outboxes; out aliases the
-	// buffer for the round currently executing.
+	// buffer for the round currently executing. Both stay nil on the
+	// batch transport, which aliases wout/wmark into the engine's word
+	// columns instead (see batch.go).
 	bufs   [2][]Message
 	out    []Message
+	width  int
+	wout   []int64
+	wmark  []uint8
 	sent   int64
 	halted bool
 }
@@ -113,6 +122,9 @@ func (n *Node) Send(port int, msg Message) {
 	if msg == nil {
 		panic(fmt.Sprintf("dist: node id=%d sends nil message", n.id))
 	}
+	if n.out == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls Send on the batch transport (use SendWord/SendWords)", n.id))
+	}
 	if n.out[port] == nil {
 		n.sent++
 	}
@@ -137,6 +149,9 @@ func (n *Node) Halt() { n.halted = true }
 type Network struct {
 	g   *graph.Graph
 	ids []int
+	// delivery is the transport preference RunOptions.Delivery == Auto
+	// resolves to (itself Auto by default); see WithDelivery.
+	delivery Delivery
 }
 
 // NewNetwork returns a network with canonical identifiers id(v) = v+1.
@@ -166,6 +181,19 @@ func (net *Network) Graph() *graph.Graph { return net.g }
 // IDs returns a copy of the identifier assignment, indexed by vertex.
 func (net *Network) IDs() []int { return append([]int(nil), net.ids...) }
 
+// WithDelivery returns a view of the network sharing the graph and
+// identifier assignment whose Runs resolve RunOptions.Delivery ==
+// DeliveryAuto to the given transport preference. Pipelines that call Run
+// internally with default options inherit the preference, which is how
+// shadow tests and the scale harness force the []any fallback (or require
+// the batch path) across a whole multi-phase algorithm without threading
+// an option through every signature.
+func (net *Network) WithDelivery(d Delivery) *Network {
+	c := *net
+	c.delivery = d
+	return &c
+}
+
 // parallelThreshold is the participant count above which rounds execute
 // on a worker pool; below it the per-round synchronization costs more
 // than it saves. Overridable in tests to force either path.
@@ -193,8 +221,41 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if opts.MaxRounds < 0 {
 		return nil, fmt.Errorf("dist: negative round budget %d", opts.MaxRounds)
 	}
-	s := newSimulation(net, algo, opts)
+	batch, err := net.resolveDelivery(algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := newSimulation(net, algo, opts, batch)
+	if batch {
+		if err := s.initBatch(algo.(FixedWidthAlgorithm)); err != nil {
+			return nil, err
+		}
+	}
 	return s.run()
+}
+
+// resolveDelivery picks the transport of a Run: the explicit
+// RunOptions.Delivery, else the Network preference, else (Auto) the batch
+// transport exactly when the algorithm is fixed-width.
+func (net *Network) resolveDelivery(algo Algorithm, opts RunOptions) (bool, error) {
+	d := opts.Delivery
+	if d == DeliveryAuto {
+		d = net.delivery
+	}
+	_, isFW := algo.(FixedWidthAlgorithm)
+	switch d {
+	case DeliveryAuto:
+		return isFW, nil
+	case DeliveryBoxed:
+		return false, nil
+	case DeliveryBatch:
+		if !isFW {
+			return false, fmt.Errorf("dist: DeliveryBatch requires a FixedWidthAlgorithm, got %T", algo)
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("dist: unknown delivery mode %d", int(d))
+	}
 }
 
 // simulation is the per-Run state of the engine.
@@ -214,40 +275,59 @@ type simulation struct {
 	haltedAt []int
 	live     []int
 	workers  int
+
+	// Batch-transport state (see batch.go); fw is nil on the boxed path.
+	fw      FixedWidthAlgorithm
+	width   int
+	base    []int     // first columnar slot of each vertex
+	inSlots [][]int32 // per vertex, per port: the sending neighbor's slot
+	wwords  [2][]int64
+	wsent   [2][]uint8
+	clearQ  []int // nodes halted last round, flags pending a clear
 }
 
-func newSimulation(net *Network, algo Algorithm, opts RunOptions) *simulation {
+func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *simulation {
 	n := net.g.N()
 	s := &simulation{
 		net:      net,
 		algo:     algo,
 		opts:     opts,
 		nodes:    make([]*Node, n),
-		inbox:    make([][]Message, n),
 		peer:     make([][]int, n),
 		haltedAt: make([]int, n),
 	}
+	if !batch {
+		s.inbox = make([][]Message, n)
+	}
+	arr := make([]Node, n)
+	totalPorts := 0
 	for v := 0; v < n; v++ {
 		s.haltedAt[v] = math.MaxInt
 		if opts.Active != nil && !opts.Active[v] {
 			continue
 		}
 		ports := VisiblePorts(net.g, opts.Labels, opts.Active, v)
-		nd := &Node{id: net.ids[v], total: n, ports: ports}
-		nd.bufs[0] = make([]Message, len(ports))
-		nd.bufs[1] = make([]Message, len(ports))
+		nd := &arr[v]
+		nd.id, nd.total, nd.ports = net.ids[v], n, ports
+		if !batch {
+			nd.bufs[0] = make([]Message, len(ports))
+			nd.bufs[1] = make([]Message, len(ports))
+			s.inbox[v] = make([]Message, len(ports))
+		}
 		if opts.Inputs != nil {
 			nd.Input = opts.Inputs[v]
 		}
 		s.nodes[v] = nd
-		s.inbox[v] = make([]Message, len(ports))
 		s.live = append(s.live, v)
+		totalPorts += len(ports)
 	}
 	// peer[v][p]: v's position in ports of u = ports[v][p]. Visibility is
 	// symmetric, so v always appears in its visible neighbors' port lists.
+	peerFlat := make([]int, totalPorts)
 	for _, v := range s.live {
 		ports := s.nodes[v].ports
-		peers := make([]int, len(ports))
+		peers := peerFlat[:len(ports):len(ports)]
+		peerFlat = peerFlat[len(ports):]
 		for p, u := range ports {
 			peers[p] = sort.SearchInts(s.nodes[u].ports, v)
 		}
@@ -274,6 +354,10 @@ func (s *simulation) run() (*Result, error) {
 				len(s.live), budget, ErrMaxRounds)
 		}
 		s.stepRound(r)
+		if s.fw != nil {
+			// Halting sends of round r-1 are delivered; drop the flags.
+			s.flushHaltClears()
+		}
 		rounds = r
 		s.collectHalted(r)
 	}
@@ -320,6 +404,10 @@ func (s *simulation) stepRound(r int) {
 }
 
 func (s *simulation) stepSlice(r, lo, hi int) {
+	if s.fw != nil {
+		s.stepSliceBatch(r, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		v := s.live[i]
 		nd := s.nodes[v]
@@ -354,6 +442,9 @@ func (s *simulation) collectHalted(r int) {
 	for _, v := range s.live {
 		if s.nodes[v].halted {
 			s.haltedAt[v] = r
+			if s.fw != nil {
+				s.clearQ = append(s.clearQ, v)
+			}
 		} else {
 			kept = append(kept, v)
 		}

@@ -49,6 +49,12 @@ type Record struct {
 	WallMS float64 `json:"wall_ms"`
 	N      int     `json:"n"`
 	Seed   int64   `json:"seed"`
+	// Delivery, Mallocs and AllocMB are set on scale-run records (exp
+	// "SCALE"): the message transport used, and the heap allocation
+	// count / bytes (MB) of the coloring run they bracket.
+	Delivery string  `json:"delivery,omitempty"`
+	Mallocs  uint64  `json:"mallocs,omitempty"`
+	AllocMB  float64 `json:"alloc_mb,omitempty"`
 }
 
 // NewRecord converts a row into its machine-readable form.

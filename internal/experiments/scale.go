@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// The scale experiment (exp id "SCALE") is the ROADMAP's million-vertex
+// target: load an n=10^6-class instance through the streaming binary
+// graph format and run Procedure Legal-Coloring end to end on the
+// columnar batch transport, recording wall time and heap allocations
+// next to the usual colors/rounds/messages. Forcing dist.DeliveryBatch
+// doubles as an end-to-end assertion that every phase of the pipeline
+// (H-partition, per-level recoloring, orientation exchange,
+// wait-for-parents) is fixed-width; the boxed transport remains
+// selectable for shadow comparisons.
+
+// ScaleOptions configures one scale run.
+type ScaleOptions struct {
+	// N and Arboricity shape the generated forest union (ignored when
+	// GraphPath is set); Arboricity is also the bound handed to
+	// Legal-Coloring. Zero values mean n=10^6, a=8.
+	N          int
+	Arboricity int
+	// P is Legal-Coloring's refinement parameter (>= 4; default 4, so an
+	// a=8 instance exercises one Arbdefective-Coloring iteration).
+	P    int
+	Seed int64
+	// GraphPath loads a prebuilt graph file (DCG1 binary or text edge
+	// list, e.g. from graphgen -binary) instead of generating one.
+	GraphPath string
+	// Dir is the scratch directory for the generate->WriteBinary->
+	// OpenBinary round trip; empty means a temporary directory.
+	Dir string
+	// Delivery selects the transport; DeliveryAuto is recorded (and
+	// enforced) as DeliveryBatch.
+	Delivery dist.Delivery
+}
+
+func (o *ScaleOptions) normalize() {
+	if o.N <= 0 {
+		o.N = 1_000_000
+	}
+	if o.Arboricity < 1 {
+		o.Arboricity = 8
+	}
+	if o.P < 4 {
+		o.P = 4
+	}
+	if o.Delivery == dist.DeliveryAuto {
+		o.Delivery = dist.DeliveryBatch
+	}
+}
+
+// ScaleResult is one scale run: the JSON-Lines record plus the raw
+// coloring, which shadow comparisons check bit for bit across transports.
+type ScaleResult struct {
+	Record Record
+	Colors []int
+}
+
+// ScaleRun executes the scale experiment.
+func ScaleRun(opt ScaleOptions) (*ScaleResult, error) {
+	opt.normalize()
+	// One rng drives generation and then the ID permutation (the
+	// forestNet convention): reseeding for the permutation would replay
+	// the exact stream that shaped the edges, correlating IDs with
+	// structure.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g, source, err := scaleGraph(opt, rng)
+	if err != nil {
+		return nil, err
+	}
+	net := dist.NewNetworkPermuted(g, rng).WithDelivery(opt.Delivery)
+
+	// Allocation accounting brackets only the coloring run: graph
+	// generation and I/O are measured by their own benchmarks.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.LegalColoring(net, core.Config{Arboricity: opt.Arboricity, P: opt.P})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale run (n=%d a=%d p=%d): %w", g.N(), opt.Arboricity, opt.P, err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	legalErr := g.CheckLegalColoring(res.Colors)
+	rec := Record{
+		Exp:      "SCALE",
+		Workload: fmt.Sprintf("%s n=%d m=%d", source, g.N(), g.M()),
+		Params:   fmt.Sprintf("a=%d p=%d", opt.Arboricity, opt.P),
+		Colors:   graph.NumColors(res.Colors),
+		Rounds:   res.Tally.Rounds(),
+		Messages: res.Tally.Messages(),
+		Measured: float64(res.Palette),
+		Metric:   "palette",
+		OK:       legalErr == nil,
+		WallMS:   float64(wall.Microseconds()) / 1000.0,
+		N:        g.N(),
+		Seed:     opt.Seed,
+		Delivery: opt.Delivery.String(),
+		Mallocs:  after.Mallocs - before.Mallocs,
+		AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+	}
+	if legalErr != nil {
+		rec.Note = legalErr.Error()
+	}
+	return &ScaleResult{Record: rec, Colors: res.Colors}, nil
+}
+
+// scaleGraph resolves the instance: a prebuilt file, or a generated
+// forest union pushed through the binary writer and streamed back in, so
+// a default scale run exercises WriteBinary/OpenBinary end to end.
+func scaleGraph(opt ScaleOptions, rng *rand.Rand) (*graph.Graph, string, error) {
+	if opt.GraphPath != "" {
+		g, err := graph.LoadFile(opt.GraphPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, filepath.Base(opt.GraphPath), nil
+	}
+	gen := graph.ForestUnion(opt.N, opt.Arboricity, rng)
+	dir := opt.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "colorbench-scale")
+		if err != nil {
+			return nil, "", err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	path := filepath.Join(dir, fmt.Sprintf("forest-union-n%d-a%d-s%d.bin", opt.N, opt.Arboricity, opt.Seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := gen.WriteBinary(f); err != nil {
+		f.Close()
+		return nil, "", err
+	}
+	if err := f.Close(); err != nil {
+		return nil, "", err
+	}
+	g, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, "forest-union", nil
+}

@@ -82,6 +82,29 @@ func (a hpartitionAlgo) Step(n *dist.Node, inbox []dist.Message) {
 	n.SendAll(struct{}{})
 }
 
+// MessageWords implements dist.FixedWidthAlgorithm: the beacon is a
+// single (ignored) word; presence is the signal.
+func (hpartitionAlgo) MessageWords() int { return 1 }
+
+func (hpartitionAlgo) InitWords(n *dist.Node) {
+	n.SendAllWord(1)
+}
+
+func (a hpartitionAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	activeNbrs := 0
+	for p := 0; p < inbox.Ports(); p++ {
+		if inbox.Has(p) {
+			activeNbrs++
+		}
+	}
+	if activeNbrs <= a.threshold {
+		n.Output = n.Round()
+		n.Halt()
+		return
+	}
+	n.SendAllWord(1)
+}
+
 // ComputeHPartition runs the distributed peeling with arboricity bound a.
 // Time O(log n) when a is a valid bound (Lemma 2.3); returns
 // ErrArboricityTooSmall otherwise.

@@ -53,14 +53,47 @@ func (orientExchange) Step(n *dist.Node, inbox []dist.Message) {
 			continue
 		}
 		om := m.(orientMsg)
-		switch {
-		case om.Level > in.Level || (om.Level == in.Level && om.Key > in.Key):
-			dirs[p] = +1 // neighbor is our parent
-		case om.Level < in.Level || (om.Level == in.Level && om.Key < in.Key):
-			dirs[p] = -1 // neighbor is our child
-		default:
-			dirs[p] = 0 // tie: unoriented
+		dirs[p] = orientDir(in, om.Level, om.Key)
+	}
+	n.Output = orientOutput{PortDir: dirs}
+	n.Halt()
+}
+
+// orientDir compares a neighbor's (level, key) with ours: +1 parent,
+// -1 child, 0 tie (unoriented).
+func orientDir(in orientInput, level, key int) int8 {
+	switch {
+	case level > in.Level || (level == in.Level && key > in.Key):
+		return +1 // neighbor is our parent
+	case level < in.Level || (level == in.Level && key < in.Key):
+		return -1 // neighbor is our child
+	default:
+		return 0
+	}
+}
+
+// MessageWords implements dist.FixedWidthAlgorithm: a message carries the
+// sender's level and key.
+func (orientExchange) MessageWords() int { return 2 }
+
+func (orientExchange) InitWords(n *dist.Node) {
+	in := n.Input.(orientInput)
+	for p := 0; p < n.Degree(); p++ {
+		w := n.SendWords(p)
+		w[0] = int64(in.Level)
+		w[1] = int64(in.Key)
+	}
+}
+
+func (orientExchange) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	in := n.Input.(orientInput)
+	dirs := make([]int8, inbox.Ports())
+	for p := range dirs {
+		if !inbox.Has(p) {
+			continue
 		}
+		w := inbox.Words(p)
+		dirs[p] = orientDir(in, int(w[0]), int(w[1]))
 	}
 	n.Output = orientOutput{PortDir: dirs}
 	n.Halt()

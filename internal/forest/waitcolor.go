@@ -76,11 +76,26 @@ type waitColorState struct {
 type WaitColorAlgo struct{}
 
 func (WaitColorAlgo) Init(n *dist.Node) {
+	if c, announce := waitColorInit(n); announce {
+		n.SendAll(c)
+	}
+}
+
+// InitWords is Init on the batch transport.
+func (WaitColorAlgo) InitWords(n *dist.Node) {
+	if c, announce := waitColorInit(n); announce {
+		n.SendAllWord(int64(c))
+	}
+}
+
+// waitColorInit is the transport-independent Init; when announce is true
+// the node picked color c (parent-free case) and the caller broadcasts it.
+func waitColorInit(n *dist.Node) (int, bool) {
 	in, ok := n.Input.(WaitColorInput)
 	if !ok || in.Palette < 1 {
 		n.Output = fmt.Errorf("forest: bad wait-color input %T", n.Input)
 		n.Halt()
-		return
+		return 0, false
 	}
 	pending := 0
 	for _, p := range in.ParentPort {
@@ -91,9 +106,14 @@ func (WaitColorAlgo) Init(n *dist.Node) {
 	st := &waitColorState{parentColors: make([]int, in.Palette), pending: pending}
 	n.State = st
 	if pending == 0 {
-		finishWaitColor(n, in, st)
+		return finishWaitColor(n, in, st)
 	}
+	return 0, false
 }
+
+// MessageWords implements dist.FixedWidthAlgorithm: a message is the
+// sender's chosen color.
+func (WaitColorAlgo) MessageWords() int { return 1 }
 
 func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 	in := n.Input.(WaitColorInput)
@@ -102,27 +122,51 @@ func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 		if m == nil || p >= len(in.ParentPort) || !in.ParentPort[p] {
 			continue
 		}
-		c := m.(int)
-		if c >= 0 && c < len(st.parentColors) {
-			st.parentColors[c]++
-		}
-		st.pending--
+		st.record(m.(int))
 	}
 	if st.pending <= 0 {
-		finishWaitColor(n, in, st)
+		if c, announce := finishWaitColor(n, in, st); announce {
+			n.SendAll(c)
+		}
 	}
 }
 
-func finishWaitColor(n *dist.Node, in WaitColorInput, st *waitColorState) {
+// StepWords is Step on the batch transport.
+func (WaitColorAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	in := n.Input.(WaitColorInput)
+	st := n.State.(*waitColorState)
+	for p := 0; p < inbox.Ports(); p++ {
+		if !inbox.Has(p) || p >= len(in.ParentPort) || !in.ParentPort[p] {
+			continue
+		}
+		st.record(int(inbox.Word(p)))
+	}
+	if st.pending <= 0 {
+		if c, announce := finishWaitColor(n, in, st); announce {
+			n.SendAllWord(int64(c))
+		}
+	}
+}
+
+func (st *waitColorState) record(c int) {
+	if c >= 0 && c < len(st.parentColors) {
+		st.parentColors[c]++
+	}
+	st.pending--
+}
+
+// finishWaitColor chooses the node's color, publishes it as the output
+// and halts; when announce is true the caller broadcasts c to children.
+func finishWaitColor(n *dist.Node, in WaitColorInput, st *waitColorState) (int, bool) {
 	c, err := in.Rule.choose(st.parentColors)
 	if err != nil {
 		n.Output = err
 		n.Halt()
-		return
+		return 0, false
 	}
 	n.Output = c
-	n.SendAll(c)
 	n.Halt()
+	return c, true
 }
 
 // WaitColorResult reports a wait-for-parents run.

@@ -31,8 +31,14 @@ type Input struct {
 }
 
 // Algo is the dist.Algorithm executing a recoloring schedule. The zero
-// value is ready to use; it is stateless (per-node state lives in the Node).
+// value is ready to use; it is stateless (per-node state lives in the
+// Node). It also implements dist.FixedWidthAlgorithm (messages are single
+// colors), so runs use the columnar batch transport by default.
 type Algo struct{}
+
+// MessageWords implements dist.FixedWidthAlgorithm: every message is one
+// color word.
+func (Algo) MessageWords() int { return 1 }
 
 type nodeState struct {
 	plan      Schedule
@@ -62,12 +68,28 @@ func (sc *stepScratch) grow(q int) {
 // Init derives the node's schedule from its Input and sends the initial
 // color when at least one step is required.
 func (Algo) Init(n *dist.Node) {
+	if c, announce := initNode(n); announce {
+		n.SendAll(c)
+	}
+}
+
+// InitWords is Init on the batch transport.
+func (Algo) InitWords(n *dist.Node) {
+	if c, announce := initNode(n); announce {
+		n.SendAllWord(int64(c))
+	}
+}
+
+// initNode is the transport-independent part of Init: it derives the
+// schedule and either finishes the node (announce=false) or returns the
+// initial color the caller must broadcast.
+func initNode(n *dist.Node) (int, bool) {
 	in, ok := n.Input.(Input)
 	if !ok {
 		// Defensive default: trivial ID coloring with no recoloring.
 		n.Output = n.ID() - 1
 		n.Halt()
-		return
+		return 0, false
 	}
 	color := in.Color
 	if color < 0 {
@@ -87,7 +109,7 @@ func (Algo) Init(n *dist.Node) {
 		// A single color class already satisfies the defect bound.
 		n.Output = 0
 		n.Halt()
-		return
+		return 0, false
 	}
 	maxQ := 0
 	for _, step := range plan.Steps {
@@ -100,9 +122,9 @@ func (Algo) Init(n *dist.Node) {
 	if len(st.plan.Steps) == 0 {
 		n.Output = color
 		n.Halt()
-		return
+		return 0, false
 	}
-	n.SendAll(color)
+	return color, true
 }
 
 // stepFamilies resolves the memoized family of every step once, at Init,
@@ -140,14 +162,44 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 		st.conflicts = append(st.conflicts, m.(int))
 	}
 
+	if c, announce := advance(n, st); announce {
+		n.SendAll(c)
+	}
+}
+
+// StepWords is Step on the batch transport.
+func (Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	st := n.State.(*nodeState)
+	in := n.Input.(Input)
+
+	st.conflicts = st.conflicts[:0]
+	for p := 0; p < inbox.Ports(); p++ {
+		if !inbox.Has(p) {
+			continue
+		}
+		if in.ParentPort != nil && (p >= len(in.ParentPort) || !in.ParentPort[p]) {
+			continue
+		}
+		st.conflicts = append(st.conflicts, int(inbox.Word(p)))
+	}
+
+	if c, announce := advance(n, st); announce {
+		n.SendAllWord(int64(c))
+	}
+}
+
+// advance applies one recoloring step to the gathered conflicts and
+// either finishes the node (announce=false) or returns the new color the
+// caller must broadcast.
+func advance(n *dist.Node, st *nodeState) (int, bool) {
 	st.color = st.scratch.recolorOnce(st.fams[st.step], st.color, st.conflicts)
 	st.step++
 	if st.step < len(st.plan.Steps) {
-		n.SendAll(st.color)
-		return
+		return st.color, true
 	}
 	n.Output = st.color
 	n.Halt()
+	return 0, false
 }
 
 // recolorOnce applies one Step: pick alpha minimizing agreements with

@@ -61,20 +61,38 @@ type state struct {
 	fold      int // folds completed within the current phase
 }
 
-// Algo is the dist.Algorithm performing the reduction.
+// Algo is the dist.Algorithm performing the reduction. It also
+// implements dist.FixedWidthAlgorithm (messages are single colors), so
+// runs use the columnar batch transport by default.
 type Algo struct{}
 
+// MessageWords implements dist.FixedWidthAlgorithm.
+func (Algo) MessageWords() int { return 1 }
+
 func (Algo) Init(n *dist.Node) {
+	if c, announce := reduceInit(n); announce {
+		n.SendAll(c)
+	}
+}
+
+// InitWords is Init on the batch transport.
+func (Algo) InitWords(n *dist.Node) {
+	if c, announce := reduceInit(n); announce {
+		n.SendAllWord(int64(c))
+	}
+}
+
+func reduceInit(n *dist.Node) (int, bool) {
 	in, ok := n.Input.(Input)
 	if !ok {
 		n.Output = fmt.Errorf("reduce: bad input %T", n.Input)
 		n.Halt()
-		return
+		return 0, false
 	}
 	if in.M <= in.Target {
 		n.Output = in.Color
 		n.Halt()
-		return
+		return 0, false
 	}
 	st := &state{
 		color:     in.Color,
@@ -85,13 +103,12 @@ func (Algo) Init(n *dist.Node) {
 		st.nbrColors[i] = -1
 	}
 	n.State = st
-	n.SendAll(st.color)
+	return st.color, true
 }
 
 func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 	in := n.Input.(Input)
 	st := n.State.(*state)
-	t := in.Target
 
 	// Record neighbor color announcements (always in the numbering of the
 	// current phase; see the send ordering below).
@@ -100,8 +117,32 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 			st.nbrColors[p] = m.(int)
 		}
 	}
+	if c, announce := reduceAdvance(n, in, st); announce {
+		n.SendAll(c)
+	}
+}
+
+// StepWords is Step on the batch transport.
+func (Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	in := n.Input.(Input)
+	st := n.State.(*state)
+
+	for p := 0; p < inbox.Ports(); p++ {
+		if inbox.Has(p) {
+			st.nbrColors[p] = int(inbox.Word(p))
+		}
+	}
+	if c, announce := reduceAdvance(n, in, st); announce {
+		n.SendAllWord(int64(c))
+	}
+}
+
+// reduceAdvance runs the transport-independent fold/renumber round; when
+// announce is true the caller broadcasts the node's recolored value.
+func reduceAdvance(n *dist.Node, in Input, st *state) (int, bool) {
+	t := in.Target
 	if n.Round() == 1 {
-		return // initial exchange round; folding starts next round
+		return 0, false // initial exchange round; folding starts next round
 	}
 
 	// Fold round: recolor the color class with in-group offset j.
@@ -126,7 +167,7 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 		if newColor < 0 {
 			n.Output = fmt.Errorf("reduce: no free color (visible degree exceeds target-1)")
 			n.Halt()
-			return
+			return 0, false
 		}
 		st.color = newColor
 		recolored = true
@@ -150,15 +191,14 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 		st.phase++
 		st.fold = 0
 	}
-	if recolored {
-		// Announce after any renumbering so receivers (who renumber their
-		// tables in the same round) record a consistently-numbered value.
-		n.SendAll(st.color)
-	}
 	if st.phase == len(st.phases) {
 		n.Output = st.color
 		n.Halt()
 	}
+	// Announce (in the caller's transport) after any renumbering so
+	// receivers, who renumber their tables in the same round, record a
+	// consistently-numbered value. Halting sends are still delivered.
+	return st.color, recolored
 }
 
 // Result reports a reduction run.

@@ -1,0 +1,39 @@
+package reduce
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// TestKWBatchShadowsBoxed pins transport equivalence for the reduction:
+// the fold/renumber schedule is round-sensitive (a message received one
+// round late recolors against a stale table), so identical Results across
+// transports exercise delivery timing, silence and halting sends.
+func TestKWBatchShadowsBoxed(t *testing.T) {
+	g := graph.Grid(12, 9)
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = v // trivial legal n-coloring
+	}
+	run := func(d dist.Delivery) *Result {
+		t.Helper()
+		net := dist.NewNetwork(g).WithDelivery(d)
+		res, err := KW(net, colors, g.N(), 5, nil, nil)
+		if err != nil {
+			t.Fatalf("delivery=%v: %v", d, err)
+		}
+		if err := g.CheckLegalColoring(res.Colors); err != nil {
+			t.Fatalf("delivery=%v: %v", d, err)
+		}
+		return res
+	}
+	boxed := run(dist.DeliveryBoxed)
+	batch := run(dist.DeliveryBatch)
+	if !reflect.DeepEqual(boxed, batch) {
+		t.Fatalf("transports diverged: boxed rounds=%d messages=%d, batch rounds=%d messages=%d",
+			boxed.Rounds, boxed.Messages, batch.Rounds, batch.Messages)
+	}
+}
