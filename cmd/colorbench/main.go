@@ -49,10 +49,11 @@ func run() error {
 	scaleP := flag.Int("scale-p", 4, "scale run: Legal-Coloring refinement parameter p")
 	graphPath := flag.String("graph", "", "scale run: prebuilt graph file (DCG1 binary or text edge list)")
 	shadowN := flag.Int("scale-shadow-n", 100_000, "scale run: also cross-check batch vs boxed transports at this size (0 disables)")
+	allocBudget := flag.Float64("scale-alloc-budget", 0, "scale run: fail if the full batch run exceeds this many heap allocations per vertex (0 disables)")
 	flag.Parse()
 
 	if *scale {
-		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *jsonOut)
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, *jsonOut)
 	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
@@ -109,15 +110,17 @@ func run() error {
 
 // runScale executes the scale experiment: an optional batch-vs-boxed
 // shadow pair at shadowN, then the full-size run on the batch transport.
-// All records go to the JSON-Lines stream (or a readable text line).
-func runScale(n, a, p int, seed int64, graphPath string, shadowN int, jsonOut bool) error {
+// All records go to the JSON-Lines stream (or a readable text line). A
+// nonzero allocBudget gates the full run's allocs/vertex - the CI
+// regression check for the typed word-I/O plumbing.
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, jsonOut bool) error {
 	var recs []experiments.Record
 	emit := func(res *experiments.ScaleResult) {
 		recs = append(recs, res.Record)
 		if !jsonOut {
 			r := res.Record
-			fmt.Printf("SCALE %-28s %-22s delivery=%-5s colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB ok=%v\n",
-				r.Workload, r.Params, r.Delivery, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.OK)
+			fmt.Printf("SCALE %-28s %-22s delivery=%-5s colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB allocs/vertex=%.2f ok=%v\n",
+				r.Workload, r.Params, r.Delivery, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.AllocsPerVertex, r.OK)
 		}
 	}
 
@@ -159,6 +162,8 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, jsonOut bo
 	}
 	emit(full)
 
+	// Write the records before applying any gate, so a failing run still
+	// leaves its diagnostics in the JSON-Lines artifact.
 	if jsonOut {
 		if err := experiments.WriteJSON(os.Stdout, recs); err != nil {
 			return err
@@ -168,6 +173,10 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, jsonOut bo
 		if !r.OK {
 			return fmt.Errorf("scale run %s %s produced an illegal coloring: %s", r.Workload, r.Params, r.Note)
 		}
+	}
+	if allocBudget > 0 && full.Record.AllocsPerVertex > allocBudget {
+		return fmt.Errorf("scale run %s %s allocated %.2f allocs/vertex, over the %.2f budget",
+			full.Record.Workload, full.Record.Params, full.Record.AllocsPerVertex, allocBudget)
 	}
 	return nil
 }

@@ -49,10 +49,27 @@ func ColorDeltaPlusOne(net *dist.Network) (*Result, error) {
 	return ColorWithin(net, nil, nil, net.Graph().MaxDegree())
 }
 
+// NumLevels returns the number of top-down defective refinement levels
+// of a ColorWithin run with the given degree bound - the halvings of d
+// until the Linial base takes over.
+func NumLevels(degBound int) int {
+	levels := 0
+	for d := degBound; d > baseDegree; d /= 2 {
+		levels++
+	}
+	return levels
+}
+
 // ColorWithin colors every class of baseLabels (restricted to active
 // vertices, both may be nil) legally with degBound+1 colors, where
 // degBound bounds the visible degree of every vertex within its class.
 // All classes run in parallel; color values lie in [0, degBound+1).
+//
+// The central bookkeeping between phases - label compaction, palette
+// merges, reduction scratch - runs on buffers reused across all levels
+// (one backing allocation holds every per-level snapshot), so the
+// orchestration cost is O(levels * n) work with O(1) allocations per
+// level; BenchmarkDeltaColorBookkeeping quantifies it.
 func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound int) (*Result, error) {
 	g := net.Graph()
 	n := g.N()
@@ -66,7 +83,10 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 		copy(labels, baseLabels)
 	}
 
-	// Top-down defective refinement.
+	// Top-down defective refinement. The per-level snapshots (the split
+	// coloring and the labels it refined) are retained until the
+	// bottom-up merges, so they cannot be reused across levels - but they
+	// can share one backing array sized by the known level count.
 	type level struct {
 		classColor []int // per-vertex defective color at this level
 		numClasses int   // S_i: classes each parent class splits into
@@ -74,78 +94,75 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 		dAfter     int   // intra-class degree bound after the split
 		labels     []int // compacted labels BEFORE this split
 	}
-	var levels []level
+	numLevels := NumLevels(degBound)
+	backing := make([]int, 2*numLevels*n)
+	takeSnapshot := func() []int {
+		s := backing[:n:n]
+		backing = backing[n:]
+		return s
+	}
+	levels := make([]level, 0, numLevels)
+	composeIDs := make(map[[2]int]int, n)
 	d := degBound
 	for d > baseDegree {
 		target := d / 2
 		plan := recolor.Plan(n, d, target)
-		inputs := make([]any, n)
-		for v := 0; v < n; v++ {
-			inputs[v] = recolor.Input{Color: -1, M0: n, DegBound: d, TargetDefect: target}
-		}
-		res, err := net.Run(recolor.Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
+		classColor := takeSnapshot()
+		p := recolor.Params{Color: -1, M0: n, DegBound: d, TargetDefect: target}
+		rounds, msgs, err := recolor.RunUniform(net, p, nil, labels, active, classColor)
 		if err != nil {
 			return nil, fmt.Errorf("deltacolor: defective split at d=%d: %w", d, err)
 		}
-		classColor, err := dist.IntOutputs(res, 0)
-		if err != nil {
-			return nil, err
-		}
-		tally.AddRounds(fmt.Sprintf("defective(d=%d)", d), res.Rounds, res.Messages)
-		lv := level{
+		tally.AddRounds(fmt.Sprintf("defective(d=%d)", d), rounds, msgs)
+		lvLabels := takeSnapshot()
+		copy(lvLabels, labels)
+		levels = append(levels, level{
 			classColor: classColor,
 			numClasses: plan.FinalColors(),
 			dBefore:    d,
 			dAfter:     target,
-			labels:     append([]int(nil), labels...),
-		}
-		levels = append(levels, lv)
-		labels = dist.ComposeLabels(labels, classColor)
+			labels:     lvLabels,
+		})
+		dist.ComposeLabelsInto(labels, labels, classColor, composeIDs)
 		d = target
 	}
 
 	// Base: Linial within the finest classes, then reduce to d+1 colors.
 	basePlan := recolor.Plan(n, d, 0)
-	inputs := make([]any, n)
-	for v := 0; v < n; v++ {
-		inputs[v] = recolor.Input{Color: -1, M0: n, DegBound: d, TargetDefect: 0}
-	}
-	res, err := net.Run(recolor.Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
+	colors := make([]int, n)
+	p := recolor.Params{Color: -1, M0: n, DegBound: d, TargetDefect: 0}
+	rounds, msgs, err := recolor.RunUniform(net, p, nil, labels, active, colors)
 	if err != nil {
 		return nil, fmt.Errorf("deltacolor: base Linial: %w", err)
 	}
-	colors, err := dist.IntOutputs(res, 0)
-	if err != nil {
-		return nil, err
-	}
-	tally.AddRounds("base-linial", res.Rounds, res.Messages)
+	tally.AddRounds("base-linial", rounds, msgs)
 
+	var rpool reduce.Pool
 	m := basePlan.FinalColors()
-	red, err := reduce.KW(net, colors, m, d+1, labels, active)
+	rounds, msgs, err = reduce.KWPooled(net, colors, m, d+1, labels, active, &rpool, colors)
 	if err != nil {
 		return nil, fmt.Errorf("deltacolor: base reduction: %w", err)
 	}
-	colors = red.Colors
-	tally.AddRounds("base-reduce", red.Rounds, red.Messages)
+	tally.AddRounds("base-reduce", rounds, msgs)
 	palette := d + 1
 
 	// Bottom-up merges: disjoint palettes per sibling class, then reduce
-	// within the parent class.
+	// within the parent class. merged and the reduction pool are reused
+	// across levels.
+	merged := make([]int, n)
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
-		merged := make([]int, n)
 		for v := 0; v < n; v++ {
 			merged[v] = lv.classColor[v]*palette + colors[v]
 		}
 		m := lv.numClasses * palette
 		target := lv.dBefore + 1
-		red, err := reduce.KW(net, merged, m, target, lv.labels, active)
+		rounds, msgs, err := reduce.KWPooled(net, merged, m, target, lv.labels, active, &rpool, colors)
 		if err != nil {
 			return nil, fmt.Errorf("deltacolor: merge at d=%d: %w", lv.dBefore, err)
 		}
-		colors = red.Colors
 		palette = target
-		tally.AddRounds(fmt.Sprintf("merge(d=%d)", lv.dBefore), red.Rounds, red.Messages)
+		tally.AddRounds(fmt.Sprintf("merge(d=%d)", lv.dBefore), rounds, msgs)
 	}
 
 	return &Result{Colors: colors, Palette: palette, Tally: &tally}, nil

@@ -163,12 +163,15 @@ func (s *simulation) initBatch(fw FixedWidthAlgorithm) error {
 	s.width = w
 	n := s.net.g.N()
 	s.base = make([]int, n)
-	total := 0
+	next := 0
 	for _, v := range s.live {
 		s.nodes[v].width = w
-		s.base[v] = total
-		total += len(s.nodes[v].ports)
+		s.base[v] = next
+		next += len(s.nodes[v].ports)
 	}
+	// The slot bases end exactly at the live set's visible directed edge
+	// count, which newSimulation already totalled.
+	total := s.totalPorts
 	const maxSlots = 1 << 31
 	if total >= maxSlots/w {
 		return fmt.Errorf("dist: batch transport needs %d word slots (max %d)", total, maxSlots/w)

@@ -57,12 +57,25 @@ type RunOptions struct {
 	// The zero value resolves to the batch transport exactly when the
 	// algorithm implements FixedWidthAlgorithm.
 	Delivery Delivery
+	// InputWords is the flat input column of a word-I/O run (see
+	// wordio.go for the layout). Only valid when the algorithm is a
+	// WordIOAlgorithm running on the batch transport; mutually exclusive
+	// with Inputs. The engine reads it during the Run only, but the
+	// vertex program may reuse its own slots as scratch.
+	InputWords []int64
 }
 
 // Result reports a completed run.
 type Result struct {
-	// Outputs holds each vertex's Node.Output (nil for inactive vertices).
+	// Outputs holds each vertex's Node.Output (nil for inactive
+	// vertices). It is nil on word-I/O runs, which report through
+	// OutputWords instead of boxing n values.
 	Outputs []any
+	// OutputWords is the flat output column of a word-I/O run (nil
+	// otherwise). It aliases an engine-owned column that the next
+	// word-I/O Run on the same Network reclaims and re-zeroes: decode or
+	// copy it before starting another run.
+	OutputWords []int64
 	// Rounds is the number of Step rounds executed - the LOCAL running
 	// time. A run in which every node halts during Init costs 0 rounds.
 	Rounds int
@@ -80,19 +93,25 @@ type Node struct {
 	// Output is the node's result, read by the caller after the run.
 	Output any
 
-	id    int
-	total int
-	round int
-	ports []int
+	id     int
+	vertex int
+	total  int
+	round  int
+	ports  []int
 	// bufs are the double-buffered per-port outboxes; out aliases the
 	// buffer for the round currently executing. Both stay nil on the
 	// batch transport, which aliases wout/wmark into the engine's word
 	// columns instead (see batch.go).
-	bufs   [2][]Message
-	out    []Message
-	width  int
-	wout   []int64
-	wmark  []uint8
+	bufs  [2][]Message
+	out   []Message
+	width int
+	wout  []int64
+	wmark []uint8
+	// win/wob are the word-I/O input and output views (wordio.go); both
+	// stay nil outside word-I/O runs.
+	win    []int64
+	wob    []int64
+	fail   *runFailure
 	sent   int64
 	halted bool
 }
@@ -152,6 +171,9 @@ type Network struct {
 	// delivery is the transport preference RunOptions.Delivery == Auto
 	// resolves to (itself Auto by default); see WithDelivery.
 	delivery Delivery
+	// scratch pools the engine-owned word-I/O columns across runs. It is
+	// a pointer so WithDelivery views share the pool.
+	scratch *netScratch
 }
 
 // NewNetwork returns a network with canonical identifiers id(v) = v+1.
@@ -160,7 +182,7 @@ func NewNetwork(g *graph.Graph) *Network {
 	for v := range ids {
 		ids[v] = v + 1
 	}
-	return &Network{g: g, ids: ids}
+	return &Network{g: g, ids: ids, scratch: &netScratch{}}
 }
 
 // NewNetworkPermuted returns a network whose identifiers {1..n} are
@@ -172,7 +194,7 @@ func NewNetworkPermuted(g *graph.Graph, rng *rand.Rand) *Network {
 	for v, p := range rng.Perm(g.N()) {
 		ids[v] = p + 1
 	}
-	return &Network{g: g, ids: ids}
+	return &Network{g: g, ids: ids, scratch: &netScratch{}}
 }
 
 // Graph returns the underlying graph.
@@ -225,10 +247,22 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var wio WordIOAlgorithm
+	if batch {
+		wio, _ = algo.(WordIOAlgorithm)
+	}
+	if wio == nil && opts.InputWords != nil {
+		return nil, fmt.Errorf("dist: RunOptions.InputWords requires a WordIOAlgorithm on the batch transport, got %T (batch=%v)", algo, batch)
+	}
 	s := newSimulation(net, algo, opts, batch)
 	if batch {
 		if err := s.initBatch(algo.(FixedWidthAlgorithm)); err != nil {
 			return nil, err
+		}
+		if wio != nil {
+			if err := s.initWordIO(wio); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.run()
@@ -276,6 +310,11 @@ type simulation struct {
 	live     []int
 	workers  int
 
+	// totalPorts is the visible directed edge count of the live set.
+	totalPorts int
+	// failSlot is the per-run error slot Node.Fail records into.
+	failSlot runFailure
+
 	// Batch-transport state (see batch.go); fw is nil on the boxed path.
 	fw      FixedWidthAlgorithm
 	width   int
@@ -284,6 +323,10 @@ type simulation struct {
 	wwords  [2][]int64
 	wsent   [2][]uint8
 	clearQ  []int // nodes halted last round, flags pending a clear
+
+	// Word-I/O state (see wordio.go); wio is nil outside word-I/O runs.
+	wio    WordIOAlgorithm
+	outCol []int64
 }
 
 func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *simulation {
@@ -299,16 +342,36 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *s
 	if !batch {
 		s.inbox = make([][]Message, n)
 	}
-	arr := make([]Node, n)
+	// Port lists live in one flat backing array: under label/active
+	// filters the old per-vertex VisiblePorts allocation was one malloc
+	// per vertex per run, which dominated filtered pipeline phases.
+	filtered := opts.Labels != nil || opts.Active != nil
 	totalPorts := 0
+	if filtered {
+		for v := 0; v < n; v++ {
+			if opts.Active != nil && !opts.Active[v] {
+				continue
+			}
+			totalPorts += countVisible(net.g, opts.Labels, opts.Active, v)
+		}
+	}
+	portsFlat := make([]int, totalPorts)
+	arr := make([]Node, n)
+	totalPorts = 0
 	for v := 0; v < n; v++ {
 		s.haltedAt[v] = math.MaxInt
 		if opts.Active != nil && !opts.Active[v] {
 			continue
 		}
-		ports := VisiblePorts(net.g, opts.Labels, opts.Active, v)
+		var ports []int
+		if filtered {
+			ports = appendVisible(portsFlat[totalPorts:totalPorts:len(portsFlat)], net.g, opts.Labels, opts.Active, v)
+		} else {
+			ports = net.g.Neighbors(v)
+		}
 		nd := &arr[v]
-		nd.id, nd.total, nd.ports = net.ids[v], n, ports
+		nd.id, nd.vertex, nd.total, nd.ports = net.ids[v], v, n, ports
+		nd.fail = &s.failSlot
 		if !batch {
 			nd.bufs[0] = make([]Message, len(ports))
 			nd.bufs[1] = make([]Message, len(ports))
@@ -321,6 +384,7 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *s
 		s.live = append(s.live, v)
 		totalPorts += len(ports)
 	}
+	s.totalPorts = totalPorts
 	// peer[v][p]: v's position in ports of u = ports[v][p]. Visibility is
 	// symmetric, so v always appears in its visible neighbors' port lists.
 	peerFlat := make([]int, totalPorts)
@@ -341,8 +405,16 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *s
 }
 
 func (s *simulation) run() (*Result, error) {
+	if s.wio != nil {
+		// Reclaimed by the next run's borrow; on error returns the column
+		// simply goes back to the pool unread.
+		defer s.net.scratch.publish(s.outCol)
+	}
 	s.stepRound(0)
 	s.collectHalted(0)
+	if err := s.failSlot.take(); err != nil {
+		return nil, err
+	}
 	budget := s.opts.MaxRounds
 	if budget == 0 {
 		budget = defaultMaxRounds
@@ -360,16 +432,26 @@ func (s *simulation) run() (*Result, error) {
 		}
 		rounds = r
 		s.collectHalted(r)
+		if err := s.failSlot.take(); err != nil {
+			return nil, err
+		}
 	}
-	outs := make([]any, s.net.g.N())
+	// Word-I/O runs report through the output column; boxing n outputs
+	// into []any is exactly what the typed plane exists to avoid.
+	var outs []any
+	if s.wio == nil {
+		outs = make([]any, s.net.g.N())
+	}
 	var msgs int64
 	for v, nd := range s.nodes {
 		if nd != nil {
-			outs[v] = nd.Output
+			if outs != nil {
+				outs[v] = nd.Output
+			}
 			msgs += nd.sent
 		}
 	}
-	return &Result{Outputs: outs, Rounds: rounds, Messages: msgs}, nil
+	return &Result{Outputs: outs, OutputWords: s.outCol, Rounds: rounds, Messages: msgs}, nil
 }
 
 // stepRound executes round r (round 0 = Init) on every live node. Nodes

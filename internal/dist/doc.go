@@ -23,4 +23,19 @@
 // Cost accounting follows the paper: Result reports the number of
 // communication rounds (the LOCAL measure) and messages sent; Tally
 // accumulates both across the phases of a multi-stage pipeline.
+//
+// # Data planes
+//
+// The engine has two per-vertex data planes. The boxed plane is the
+// reference: RunOptions.Inputs ([]any) in, Node.Output (any) out, with
+// []any message buffers. The typed plane extends the columnar batch
+// transport (batch.go) to inputs and outputs: a WordIOAlgorithm
+// declares fixed per-vertex word widths (or one word per visible port),
+// reads Node.InputWords and writes Node.SetOutputWord(s) against flat
+// []int64 columns, and a Run boxes nothing per vertex - see wordio.go
+// for the layout and ownership contract. Vertex programs report input
+// or palette errors through Node.Fail, which aborts the run with a
+// deterministic per-run error instead of smuggling errors through
+// Node.Output. Shadow tests pin the two planes bit-for-bit equal at the
+// engine, phase, pipeline and scale-harness levels.
 package dist

@@ -15,11 +15,16 @@ func IntInputs(vals []int) []any {
 	return out
 }
 
-// IntOutputs unboxes a run's outputs as ints. Vertices with no output
-// (inactive, or never assigned one) report def; an error output - the
-// convention vertex programs use to surface bad inputs - aborts with
-// that error.
+// IntOutputs unboxes a boxed run's outputs as ints. Vertices with no
+// output (inactive, or never assigned one) report def. The error-value
+// case survives only for the boxed fallback path: legacy boxed programs
+// may still smuggle an error through Node.Output, which aborts with
+// that error. Word-I/O programs report errors through Node.Fail and
+// never reach this path (their Result.Outputs is nil).
 func IntOutputs(res *Result, def int) ([]int, error) {
+	if res.Outputs == nil && res.OutputWords != nil {
+		return nil, fmt.Errorf("dist: IntOutputs on a word-I/O result (use IntsFromWords)")
+	}
 	out := make([]int, len(res.Outputs))
 	for v, o := range res.Outputs {
 		switch x := o.(type) {
@@ -36,17 +41,43 @@ func IntOutputs(res *Result, def int) ([]int, error) {
 	return out, nil
 }
 
+// IntsFromWords decodes a word-I/O run's output column into dst (one
+// word per vertex; the output width must be 1, so len(dst) must equal
+// the column length). It is the word-plane counterpart of IntOutputs
+// and the step that discharges the ownership contract: after the copy,
+// the engine-owned column may be reclaimed by the next word run.
+func IntsFromWords(res *Result, dst []int) error {
+	if res.OutputWords == nil {
+		return fmt.Errorf("dist: IntsFromWords on a result without an output column")
+	}
+	if len(dst) != len(res.OutputWords) {
+		return fmt.Errorf("dist: decoding %d output words into %d ints", len(res.OutputWords), len(dst))
+	}
+	for v, w := range res.OutputWords {
+		dst[v] = int(w)
+	}
+	return nil
+}
+
 // ComposeLabels refines labels a by labels b: vertices land in the same
 // class iff they agree on both. Classes are renumbered densely from 0 in
 // order of first appearance by vertex index, so the result is
 // deterministic and directly usable as RunOptions.Labels. The slices
 // must have equal length.
 func ComposeLabels(a, b []int) []int {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("dist: composing %d labels with %d", len(a), len(b)))
+	return ComposeLabelsInto(make([]int, len(a)), a, b, make(map[[2]int]int, len(a)))
+}
+
+// ComposeLabelsInto is ComposeLabels writing the composition into dst
+// and renumbering through the caller-provided scratch map, which it
+// clears first - orchestrators that compact labels once per level reuse
+// both across levels instead of reallocating them. dst may alias a (in-
+// place refinement); it must not alias b. Returns dst.
+func ComposeLabelsInto(dst, a, b []int, ids map[[2]int]int) []int {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("dist: composing %d labels with %d into %d", len(a), len(b), len(dst)))
 	}
-	out := make([]int, len(a))
-	ids := make(map[[2]int]int, len(a))
+	clear(ids)
 	for v := range a {
 		pair := [2]int{a[v], b[v]}
 		id, ok := ids[pair]
@@ -54,9 +85,9 @@ func ComposeLabels(a, b []int) []int {
 			id = len(ids)
 			ids[pair] = id
 		}
-		out[v] = id
+		dst[v] = id
 	}
-	return out
+	return dst
 }
 
 // VisiblePorts returns the neighbors of v visible under the given
@@ -65,12 +96,30 @@ func ComposeLabels(a, b []int) []int {
 // filters may be nil. With no filters the returned slice is the graph's
 // own adjacency list and must not be modified.
 func VisiblePorts(g *graph.Graph, labels []int, active []bool, v int) []int {
-	nbrs := g.Neighbors(v)
 	if labels == nil && active == nil {
-		return nbrs
+		return g.Neighbors(v)
 	}
-	ports := make([]int, 0, len(nbrs))
-	for _, u := range nbrs {
+	return appendVisible(make([]int, 0, len(g.Neighbors(v))), g, labels, active, v)
+}
+
+// countVisible counts v's visible neighbors without allocating.
+func countVisible(g *graph.Graph, labels []int, active []bool, v int) int {
+	n := 0
+	for _, u := range g.Neighbors(v) {
+		if labels != nil && labels[u] != labels[v] {
+			continue
+		}
+		if active != nil && !active[u] {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// appendVisible appends v's visible neighbors to ports.
+func appendVisible(ports []int, g *graph.Graph, labels []int, active []bool, v int) []int {
+	for _, u := range g.Neighbors(v) {
 		if labels != nil && labels[u] != labels[v] {
 			continue
 		}
@@ -80,4 +129,26 @@ func VisiblePorts(g *graph.Graph, labels []int, active []bool, v int) []int {
 		ports = append(ports, u)
 	}
 	return ports
+}
+
+// ForEachVisible calls fn(v, ports) for every active vertex in ascending
+// vertex order with its visible ports - the exact iteration order of the
+// engine's per-port column layout (wordio.go), so orchestrators filling
+// or decoding PerPort columns track a running offset across calls. The
+// ports slice is reused between calls and must not be retained.
+func ForEachVisible(g *graph.Graph, labels []int, active []bool, fn func(v int, ports []int)) {
+	if labels == nil && active == nil {
+		for v := 0; v < g.N(); v++ {
+			fn(v, g.Neighbors(v))
+		}
+		return
+	}
+	var buf []int
+	for v := 0; v < g.N(); v++ {
+		if active != nil && !active[v] {
+			continue
+		}
+		buf = appendVisible(buf[:0], g, labels, active, v)
+		fn(v, buf)
+	}
 }

@@ -121,3 +121,72 @@ func TestVisiblePortsFiltering(t *testing.T) {
 		t.Errorf("vertex 2 (lone label) sees %v, want none", got)
 	}
 }
+
+func TestComposeLabelsIntoInPlaceAndReused(t *testing.T) {
+	a := []int{0, 0, 1, 1, 0}
+	b := []int{5, 5, 5, 7, 9}
+	want := ComposeLabels(a, b)
+
+	// In-place refinement (dst aliases a) with a reused scratch map.
+	ids := map[[2]int]int{{-1, -1}: 99} // stale entries must be cleared
+	dst := append([]int(nil), a...)
+	got := ComposeLabelsInto(dst, dst, b, ids)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("in-place compose = %v, want %v", got, want)
+	}
+	// Second use of the same map on fresh inputs.
+	got2 := ComposeLabelsInto(make([]int, len(a)), a, b, ids)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("reused-map compose = %v, want %v", got2, want)
+	}
+}
+
+func TestForEachVisibleMatchesVisiblePorts(t *testing.T) {
+	g := graph.Complete(5)
+	labels := []int{0, 0, 1, 0, 0}
+	active := []bool{true, true, true, false, true}
+	for _, tc := range []struct {
+		labels []int
+		active []bool
+	}{{nil, nil}, {labels, nil}, {nil, active}, {labels, active}} {
+		visited := 0
+		ForEachVisible(g, tc.labels, tc.active, func(v int, ports []int) {
+			if tc.active != nil && !tc.active[v] {
+				t.Fatalf("inactive vertex %d visited", v)
+			}
+			if want := VisiblePorts(g, tc.labels, tc.active, v); !reflect.DeepEqual(append([]int{}, ports...), append([]int{}, want...)) {
+				t.Fatalf("vertex %d ports = %v, want %v", v, ports, want)
+			}
+			visited++
+		})
+		wantVisited := g.N()
+		if tc.active != nil {
+			wantVisited = 4
+		}
+		if visited != wantVisited {
+			t.Fatalf("visited %d vertices, want %d", visited, wantVisited)
+		}
+	}
+}
+
+func TestIntsFromWordsAndWordResultGuards(t *testing.T) {
+	wordRes := &Result{OutputWords: []int64{4, 5, 6}}
+	dst := make([]int, 3)
+	if err := IntsFromWords(wordRes, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst, []int{4, 5, 6}) {
+		t.Fatalf("IntsFromWords = %v", dst)
+	}
+	if err := IntsFromWords(wordRes, make([]int, 2)); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if err := IntsFromWords(&Result{Outputs: []any{1}}, dst); err == nil {
+		t.Error("boxed result accepted by IntsFromWords")
+	}
+	// The boxed decoder must refuse word-I/O results rather than
+	// silently returning an empty slice.
+	if _, err := IntOutputs(wordRes, 0); err == nil {
+		t.Error("IntOutputs accepted a word-I/O result")
+	}
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file implements the typed word-I/O plane: vertex programs whose
+// per-vertex inputs and outputs are a fixed number of int64 words read
+// and write flat columns instead of boxing one struct per vertex into
+// []any. It extends the columnar batch transport of batch.go from
+// messages to inputs and outputs, which is the last allocation source on
+// the pipeline hot path (ROADMAP "typed input/output plumbing").
+//
+// Contract.
+//
+//   - A WordIOAlgorithm declares InputWidth and OutputWidth: the number
+//     of int64 words per vertex, or PerPort for one word per visible
+//     port (the layout used for per-port data such as parent flags or
+//     edge directions).
+//   - The word plane is bound to the batch transport: when a Run of a
+//     WordIOAlgorithm resolves to batch delivery, InitWords/StepWords
+//     read Node.InputWords() and write Node.SetOutputWord(s)/
+//     OutputWords(), and the run takes RunOptions.InputWords instead of
+//     RunOptions.Inputs (mixing the two is an error). When the run
+//     resolves to boxed delivery, the boxed Init/Step methods run
+//     against the classic Inputs/Node.Output plane; that []any path is
+//     the reference fallback which shadow tests compare against.
+//   - Input columns are CALLER-owned: the engine (and the vertex
+//     program) read them during the Run only, but a program may also use
+//     its own input slots as per-run scratch, so callers must not assume
+//     the column is unchanged after the Run (see forest.WaitColorAlgo).
+//   - Output columns are ENGINE-owned and reused: Result.OutputWords
+//     aliases a column that the next word-I/O Run on the same Network
+//     (or any of its WithDelivery views) reclaims and re-zeroes. Decode
+//     or copy it before starting another run. The column is zeroed at
+//     the start of each run, so vertices that never set an output - and
+//     inactive vertices - read as zero words.
+//
+// Layouts. For a fixed width W >= 1, vertex v owns words
+// [v*W, (v+1)*W) of the column, for all n vertices (inactive slots are
+// simply unused). For PerPort, the column is the concatenation, over
+// ACTIVE vertices in ascending vertex order, of one word per visible
+// port in port order - exactly the slot layout of the batch message
+// columns, so its total length is the number of visible directed edges.
+// ForEachVisible iterates that order for callers filling or decoding
+// per-port columns.
+
+// PerPort is the sentinel width declaring one word per visible port
+// instead of a fixed per-vertex word count.
+const PerPort = -1
+
+// WordIOAlgorithm is a fixed-width vertex program whose per-vertex
+// inputs and outputs are typed word columns. On the batch transport the
+// engine wires Node.InputWords/OutputWords to flat []int64 columns; the
+// embedded boxed methods remain the []any fallback implementation of
+// the same program, and the two planes must implement identical
+// behavior (pinned by shadow tests).
+type WordIOAlgorithm interface {
+	FixedWidthAlgorithm
+	// InputWidth returns the per-vertex input word count (>= 0), or
+	// PerPort. Zero means the program takes no input column. The width
+	// may depend on the algorithm value (e.g. a variant flag), but must
+	// be constant across one Run.
+	InputWidth() int
+	// OutputWidth returns the per-vertex output word count (>= 0), or
+	// PerPort. Zero means the program produces no output column.
+	OutputWidth() int
+}
+
+// InputWords returns the node's view of the input column: InputWidth
+// words (or one word per visible port when the width is PerPort). It
+// panics outside a word-I/O run or when the algorithm declares no
+// input. The program may overwrite its own slots and use them as
+// per-run scratch; see the package contract.
+func (n *Node) InputWords() []int64 {
+	if n.win == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls InputWords outside a word-I/O run (or the algorithm declares no input words)", n.id))
+	}
+	return n.win
+}
+
+// OutputWords returns the node's writable view of the output column:
+// OutputWidth words (or one per visible port when the width is
+// PerPort), zeroed at the start of the run. It panics outside a
+// word-I/O run or when the algorithm declares no output.
+func (n *Node) OutputWords() []int64 {
+	if n.wob == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls OutputWords outside a word-I/O run (or the algorithm declares no output words)", n.id))
+	}
+	return n.wob
+}
+
+// SetOutputWord sets the node's one-word output. The declared output
+// width must be exactly 1.
+func (n *Node) SetOutputWord(w int64) {
+	out := n.OutputWords()
+	if len(out) != 1 {
+		panic(fmt.Sprintf("dist: node id=%d uses SetOutputWord with %d output words", n.id, len(out)))
+	}
+	out[0] = w
+}
+
+// SetOutputWords copies ws into the node's output slot; len(ws) must
+// equal the output width.
+func (n *Node) SetOutputWords(ws ...int64) {
+	out := n.OutputWords()
+	if len(ws) != len(out) {
+		panic(fmt.Sprintf("dist: node id=%d sets %d of %d output words", n.id, len(ws), len(out)))
+	}
+	copy(out, ws)
+}
+
+// Vertex returns the node's vertex index in [0, n) - the engine's
+// numbering, distinct from the permutable LOCAL identifier ID(). It
+// exists so vertex programs can index caller-provided arenas
+// deterministically; algorithms must not base decisions on it (use ID).
+func (n *Node) Vertex() int { return n.vertex }
+
+// Fail reports a vertex-program error - bad input, exhausted palette -
+// and halts the node. The run aborts at the end of the current round
+// and Run returns the error of the smallest failing vertex (wrapped
+// with its vertex and identifier), regardless of worker scheduling.
+// This replaces the legacy convention of smuggling errors through
+// n.Output, which only the boxed []any plane can carry.
+func (n *Node) Fail(err error) {
+	if err == nil {
+		panic(fmt.Sprintf("dist: node id=%d calls Fail with a nil error", n.id))
+	}
+	f := n.fail
+	f.mu.Lock()
+	if f.err == nil || n.vertex < f.vertex {
+		f.vertex, f.id, f.err = n.vertex, n.id, err
+	}
+	f.mu.Unlock()
+	n.Halt()
+}
+
+// Failf is Fail with fmt.Errorf formatting.
+func (n *Node) Failf(format string, args ...any) {
+	n.Fail(fmt.Errorf(format, args...))
+}
+
+// runFailure is the per-run error slot Fail records into. Workers may
+// fail concurrently; the smallest vertex wins so the reported error is
+// deterministic.
+type runFailure struct {
+	mu     sync.Mutex
+	vertex int
+	id     int
+	err    error
+}
+
+func (f *runFailure) take() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil {
+		return nil
+	}
+	return fmt.Errorf("dist: vertex %d (id %d): %w", f.vertex, f.id, f.err)
+}
+
+// WordIO reports whether a default-options Run of algo on this network
+// resolves to the batch transport with the typed word-I/O plane.
+// Orchestrators branch on it: word columns via RunWords when true, the
+// boxed []any fallback otherwise (e.g. under a WithDelivery(
+// DeliveryBoxed) shadow view).
+func (net *Network) WordIO(algo Algorithm) bool {
+	batch, err := net.resolveDelivery(algo, RunOptions{})
+	if err != nil || !batch {
+		return false
+	}
+	_, ok := algo.(WordIOAlgorithm)
+	return ok
+}
+
+// RunWords is the word-plane entry point: Run restricted to word-I/O
+// algorithms on the batch transport. It fails rather than falling back
+// when the network or options force boxed delivery, so orchestrators
+// that support the fallback check Network.WordIO first.
+func (net *Network) RunWords(algo WordIOAlgorithm, opts RunOptions) (*Result, error) {
+	batch, err := net.resolveDelivery(algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !batch {
+		return nil, errors.New("dist: RunWords requires the batch transport (the network or options force boxed delivery)")
+	}
+	return net.Run(algo, opts)
+}
+
+// initWordIO validates the widths and column lengths of a word-I/O run
+// and wires the per-node views. It runs after initBatch, which computed
+// the per-port slot bases; s.totalPorts is the visible directed edge
+// count of the live set.
+func (s *simulation) initWordIO(wio WordIOAlgorithm) error {
+	totalPorts := s.totalPorts
+	iw, ow := wio.InputWidth(), wio.OutputWidth()
+	if iw < PerPort || ow < PerPort {
+		return fmt.Errorf("dist: word-I/O algorithm declares widths (%d, %d)", iw, ow)
+	}
+	if s.opts.Inputs != nil {
+		return fmt.Errorf("dist: word-I/O algorithm %T takes RunOptions.InputWords, not Inputs", wio)
+	}
+	s.wio = wio
+	n := s.net.g.N()
+	want := 0
+	switch iw {
+	case PerPort:
+		want = totalPorts
+	default:
+		want = n * iw
+	}
+	if len(s.opts.InputWords) != want {
+		return fmt.Errorf("dist: %d input words for width %d (want %d)", len(s.opts.InputWords), iw, want)
+	}
+	inCol := s.opts.InputWords
+	if inCol == nil {
+		inCol = emptyWords
+	}
+	outLen := 0
+	switch ow {
+	case PerPort:
+		outLen = totalPorts
+	default:
+		outLen = n * ow
+	}
+	outCol := s.net.scratch.borrow(outLen)
+	s.outCol = outCol
+	for _, v := range s.live {
+		nd := s.nodes[v]
+		deg := len(nd.ports)
+		switch iw {
+		case 0:
+			// no input plane
+		case PerPort:
+			if deg == 0 {
+				// A canonical non-nil empty view: degree-0 vertices have
+				// no slots, but InputWords must still work for them.
+				nd.win = emptyWords
+			} else {
+				b := s.base[v]
+				nd.win = inCol[b : b+deg : b+deg]
+			}
+		default:
+			o := v * iw
+			nd.win = inCol[o : o+iw : o+iw]
+		}
+		switch ow {
+		case 0:
+			// no output plane
+		case PerPort:
+			if deg == 0 {
+				nd.wob = emptyWords
+			} else {
+				b := s.base[v]
+				nd.wob = outCol[b : b+deg : b+deg]
+			}
+		default:
+			o := v * ow
+			nd.wob = outCol[o : o+ow : o+ow]
+		}
+	}
+	return nil
+}
+
+// emptyWords is the shared non-nil zero-length column view of degree-0
+// vertices under PerPort widths (and of empty input columns).
+var emptyWords = make([]int64, 0)
+
+// netScratch holds the engine-owned, network-pooled word columns. One
+// run borrows the column at start and re-publishes it at completion
+// (through Result.OutputWords), so the NEXT run's borrow is what
+// reclaims it; concurrent runs simply fall back to fresh allocations.
+type netScratch struct {
+	mu  sync.Mutex
+	out []int64
+}
+
+// borrow returns a zeroed column of the given length, reusing the
+// pooled backing array when it is large enough.
+func (sc *netScratch) borrow(n int) []int64 {
+	sc.mu.Lock()
+	col := sc.out
+	sc.out = nil
+	sc.mu.Unlock()
+	if cap(col) < n {
+		return make([]int64, n)
+	}
+	col = col[:n]
+	clear(col)
+	return col
+}
+
+// publish stores the column back as the pooled backing array.
+func (sc *netScratch) publish(col []int64) {
+	sc.mu.Lock()
+	if cap(col) > cap(sc.out) {
+		sc.out = col
+	}
+	sc.mu.Unlock()
+}

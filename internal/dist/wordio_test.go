@@ -1,0 +1,412 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// seedMix is the engine-level word-I/O shadow program: per-vertex typed
+// inputs (a seed and a round budget word), one digest word of output,
+// and one-word messages. The boxed plane reads seedMixInput structs and
+// writes n.Output; the word plane reads InputWords and writes
+// SetOutputWord. Any divergence between the planes - input decode,
+// output slot, delivery, halting - shifts some digest.
+type seedMix struct{}
+
+type seedMixInput struct {
+	Seed   int64
+	Rounds int64
+}
+
+func (seedMix) MessageWords() int { return 1 }
+func (seedMix) InputWidth() int   { return 2 }
+func (seedMix) OutputWidth() int  { return 1 }
+
+func (seedMix) open(n *Node, seed int64) int64 {
+	acc := seed*1000003 + int64(n.ID())
+	n.State = acc
+	return acc
+}
+
+func (seedMix) mix(n *Node, read func(p int) (int64, bool)) int64 {
+	acc := n.State.(int64)
+	for p := 0; p < n.Degree(); p++ {
+		if v, ok := read(p); ok {
+			acc = acc*31 + v + int64(p)
+		}
+	}
+	n.State = acc
+	return acc
+}
+
+func (a seedMix) Init(n *Node) {
+	in := n.Input.(seedMixInput)
+	n.SendAll(int(a.open(n, in.Seed) % 99991))
+}
+
+func (a seedMix) InitWords(n *Node) {
+	in := n.InputWords()
+	n.SendAllWord(a.open(n, in[0]) % 99991)
+}
+
+func (a seedMix) Step(n *Node, inbox []Message) {
+	in := n.Input.(seedMixInput)
+	acc := a.mix(n, func(p int) (int64, bool) {
+		if inbox[p] == nil {
+			return 0, false
+		}
+		return int64(inbox[p].(int)), true
+	})
+	if int64(n.Round()) >= in.Rounds+int64(n.ID()%2) {
+		n.Output = int(acc)
+		n.Halt()
+		return
+	}
+	n.SendAll(int(acc % 99991))
+}
+
+func (a seedMix) StepWords(n *Node, inbox WordInbox) {
+	in := n.InputWords()
+	acc := a.mix(n, func(p int) (int64, bool) {
+		if !inbox.Has(p) {
+			return 0, false
+		}
+		return inbox.Word(p), true
+	})
+	if int64(n.Round()) >= in[1]+int64(n.ID()%2) {
+		n.SetOutputWord(acc)
+		n.Halt()
+		return
+	}
+	n.SendAllWord(acc % 99991)
+}
+
+// runWordShadow runs a word-I/O program on both planes - boxed structs
+// versus typed columns - and fails unless rounds, messages and decoded
+// outputs are identical.
+func runWordShadow(t *testing.T, net *Network, algo WordIOAlgorithm, boxedInputs []any, words []int64, opts RunOptions, decode func(*Result) []int64) {
+	t.Helper()
+	boxedOpts := opts
+	boxedOpts.Delivery = DeliveryBoxed
+	boxedOpts.Inputs = boxedInputs
+	boxed, err := net.Run(algo, boxedOpts)
+	if err != nil {
+		t.Fatalf("boxed run: %v", err)
+	}
+	boxedOut := decode(boxed)
+
+	wordOpts := opts
+	wordOpts.Delivery = DeliveryBatch
+	wordOpts.InputWords = words
+	word, err := net.Run(algo, wordOpts)
+	if err != nil {
+		t.Fatalf("word run: %v", err)
+	}
+	if word.Outputs != nil {
+		t.Fatal("word-I/O run materialized []any outputs")
+	}
+	if boxed.Rounds != word.Rounds || boxed.Messages != word.Messages {
+		t.Fatalf("planes diverged: boxed rounds=%d messages=%d, word rounds=%d messages=%d",
+			boxed.Rounds, boxed.Messages, word.Rounds, word.Messages)
+	}
+	if !reflect.DeepEqual(boxedOut, word.OutputWords) {
+		t.Fatalf("planes diverged on outputs:\nboxed %v\nword  %v", boxedOut, word.OutputWords)
+	}
+}
+
+func seedMixCase(g *graph.Graph, rng *rand.Rand) ([]any, []int64) {
+	n := g.N()
+	boxed := make([]any, n)
+	words := make([]int64, 2*n)
+	for v := 0; v < n; v++ {
+		in := seedMixInput{Seed: int64(rng.Intn(1000)), Rounds: int64(3 + rng.Intn(3))}
+		boxed[v] = in
+		words[2*v], words[2*v+1] = in.Seed, in.Rounds
+	}
+	return boxed, words
+}
+
+// decodeInts re-encodes a boxed []any int output as a word column so the
+// shadow harness can DeepEqual it against OutputWords. Inactive (nil)
+// outputs map to 0, the word plane's unset value.
+func decodeInts(res *Result) []int64 {
+	out := make([]int64, len(res.Outputs))
+	for v, o := range res.Outputs {
+		if o != nil {
+			out[v] = int64(o.(int))
+		}
+	}
+	return out
+}
+
+func TestWordIOShadowsBoxedOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		g := graph.Gnp(150, 0.05, rng)
+		net := NewNetworkPermuted(g, rng)
+		boxed, words := seedMixCase(g, rng)
+		runWordShadow(t, net, seedMix{}, boxed, words, RunOptions{}, decodeInts)
+	}
+}
+
+func TestWordIOShadowsBoxedUnderFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(710))
+	g := graph.ForestUnion(400, 3, rng)
+	net := NewNetworkPermuted(g, rng)
+	labels := make([]int, g.N())
+	active := make([]bool, g.N())
+	for v := range labels {
+		labels[v] = rng.Intn(3)
+		active[v] = rng.Intn(6) > 0
+	}
+	boxed, words := seedMixCase(g, rng)
+	runWordShadow(t, net, seedMix{}, boxed, words, RunOptions{Labels: labels, Active: active}, decodeInts)
+}
+
+// portScale exercises the PerPort layouts on both ends: the input column
+// carries one weight word per visible port, the output column one word
+// per visible port (weight times the neighbor's opening message).
+type portScale struct{}
+
+type portScaleInput struct{ Weights []int64 }
+
+func (portScale) MessageWords() int { return 1 }
+func (portScale) InputWidth() int   { return PerPort }
+func (portScale) OutputWidth() int  { return PerPort }
+
+func (portScale) Init(n *Node)      { n.SendAll(n.ID() + 13) }
+func (portScale) InitWords(n *Node) { n.SendAllWord(int64(n.ID() + 13)) }
+
+func (portScale) Step(n *Node, inbox []Message) {
+	in := n.Input.(portScaleInput)
+	out := make([]int64, n.Degree())
+	for p, m := range inbox {
+		if m != nil {
+			out[p] = in.Weights[p] * int64(m.(int))
+		}
+	}
+	n.Output = out
+	n.Halt()
+}
+
+func (portScale) StepWords(n *Node, inbox WordInbox) {
+	in := n.InputWords()
+	out := n.OutputWords()
+	for p := range out {
+		if inbox.Has(p) {
+			out[p] = in[p] * inbox.Word(p)
+		}
+	}
+	n.Halt()
+}
+
+func TestWordIOPerPortPlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(720))
+	g := graph.ForestUnion(300, 4, rng) // forest unions include isolated degree-0 vertices
+	net := NewNetworkPermuted(g, rng)
+	labels := make([]int, g.N())
+	for v := range labels {
+		labels[v] = rng.Intn(2)
+	}
+
+	boxed := make([]any, g.N())
+	var words []int64
+	ForEachVisible(g, labels, nil, func(v int, ports []int) {
+		ws := make([]int64, len(ports))
+		for p := range ports {
+			ws[p] = int64(1 + (v+p)%7)
+			words = append(words, ws[p])
+		}
+		boxed[v] = portScaleInput{Weights: ws}
+	})
+
+	decode := func(res *Result) []int64 {
+		var out []int64
+		ForEachVisible(g, labels, nil, func(v int, ports []int) {
+			ws := res.Outputs[v].([]int64)
+			out = append(out, ws...)
+		})
+		if out == nil {
+			out = []int64{}
+		}
+		return out
+	}
+	runWordShadow(t, net, portScale{}, boxed, words, RunOptions{Labels: labels}, decode)
+}
+
+func TestWordIOColumnReusedAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(730))
+	g := graph.Grid(10, 10)
+	net := NewNetworkPermuted(g, rng)
+	boxed, words := seedMixCase(g, rng)
+	_ = boxed
+	first, err := net.RunWords(seedMix{}, RunOptions{InputWords: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstCopy := append([]int64(nil), first.OutputWords...)
+	second, err := net.RunWords(seedMix{}, RunOptions{InputWords: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(firstCopy, second.OutputWords) {
+		t.Fatal("identical word runs diverged")
+	}
+	if &first.OutputWords[0] != &second.OutputWords[0] {
+		t.Fatal("second run did not reuse the network-pooled output column")
+	}
+}
+
+func TestWordIOValidation(t *testing.T) {
+	g := graph.Path(3)
+	net := NewNetwork(g)
+	// Wrong input column length.
+	if _, err := net.RunWords(seedMix{}, RunOptions{InputWords: make([]int64, 5)}); err == nil {
+		t.Error("short input column accepted")
+	}
+	// Boxed inputs on the word plane.
+	if _, err := net.Run(seedMix{}, RunOptions{Inputs: make([]any, 3), Delivery: DeliveryBatch}); err == nil {
+		t.Error("boxed Inputs accepted on a word-I/O batch run")
+	}
+	// Word inputs without a word-I/O algorithm.
+	if _, err := net.Run(wordGossip{rounds: 2}, RunOptions{InputWords: make([]int64, 3)}); err == nil {
+		t.Error("InputWords accepted for a non-word-I/O algorithm")
+	}
+	// RunWords refuses the boxed transport rather than falling back.
+	boxedNet := net.WithDelivery(DeliveryBoxed)
+	if _, err := boxedNet.RunWords(seedMix{}, RunOptions{InputWords: make([]int64, 6)}); err == nil {
+		t.Error("RunWords ran on a boxed-forced network")
+	}
+	if net.WordIO(seedMix{}) != true {
+		t.Error("WordIO false for a word-I/O algorithm on an auto network")
+	}
+	if boxedNet.WordIO(seedMix{}) != false {
+		t.Error("WordIO true on a boxed-forced network")
+	}
+	if net.WordIO(wordGossip{rounds: 1}) != false {
+		t.Error("WordIO true for a fixed-width-only algorithm")
+	}
+}
+
+// inputTouch calls InputWords from the boxed plane, which must panic.
+type inputTouch struct{}
+
+func (inputTouch) MessageWords() int              { return 1 }
+func (inputTouch) InputWidth() int                { return 1 }
+func (inputTouch) OutputWidth() int               { return 1 }
+func (inputTouch) Init(n *Node)                   { n.InputWords() }
+func (inputTouch) InitWords(n *Node)              { n.SetOutputWords(7) }
+func (inputTouch) Step(n *Node, inbox []Message)  {}
+func (inputTouch) StepWords(n *Node, i WordInbox) {}
+
+func TestWordIOMisusePanics(t *testing.T) {
+	net := NewNetwork(graph.Path(2))
+	wantPanic(t, "InputWords outside a word-I/O run", func() {
+		net.Run(inputTouch{}, RunOptions{Delivery: DeliveryBoxed})
+	})
+	// SetOutputWord with a wider declared output.
+	wantPanic(t, "SetOutputWord with 2 output words", func() {
+		net.Run(badSetter{}, RunOptions{Delivery: DeliveryBatch})
+	})
+	// SetOutputWords with the wrong word count.
+	wantPanic(t, "sets 1 of 2 output words", func() {
+		net.Run(badSetter{short: true}, RunOptions{Delivery: DeliveryBatch})
+	})
+}
+
+type badSetter struct{ short bool }
+
+func (badSetter) MessageWords() int { return 1 }
+func (badSetter) InputWidth() int   { return 0 }
+func (badSetter) OutputWidth() int  { return 2 }
+func (b badSetter) InitWords(n *Node) {
+	if b.short {
+		n.SetOutputWords(1)
+	} else {
+		n.SetOutputWord(1)
+	}
+}
+func (badSetter) Init(n *Node)                   {}
+func (badSetter) Step(n *Node, inbox []Message)  {}
+func (badSetter) StepWords(n *Node, i WordInbox) {}
+
+// failAt fails every vertex whose identifier is divisible by div, in
+// round 1, on both planes.
+type failAt struct{ div int }
+
+var errFailAt = errors.New("synthetic vertex failure")
+
+func (failAt) MessageWords() int { return 1 }
+func (failAt) InputWidth() int   { return 0 }
+func (failAt) OutputWidth() int  { return 1 }
+func (failAt) Init(n *Node)      { n.SendAll(1) }
+func (failAt) InitWords(n *Node) { n.SendAllWord(1) }
+func (f failAt) step(n *Node) {
+	if n.ID()%f.div == 0 {
+		n.Fail(errFailAt)
+		return
+	}
+	n.Halt()
+}
+func (f failAt) Step(n *Node, inbox []Message)  { f.step(n) }
+func (f failAt) StepWords(n *Node, i WordInbox) { f.step(n) }
+
+func TestFailReportsSmallestVertexDeterministically(t *testing.T) {
+	rng := rand.New(rand.NewSource(740))
+	g := graph.Gnp(900, 0.01, rng)
+	net := NewNetworkPermuted(g, rng)
+
+	want := ""
+	for _, d := range []Delivery{DeliveryBoxed, DeliveryBatch} {
+		for _, threshold := range []int{1, 1 << 30} { // worker pool and sequential
+			func() {
+				defer func(old int) { parallelThreshold = old }(parallelThreshold)
+				parallelThreshold = threshold
+				_, err := net.Run(failAt{div: 7}, RunOptions{Delivery: d})
+				if !errors.Is(err, errFailAt) {
+					t.Fatalf("delivery=%v threshold=%d: got %v, want errFailAt", d, threshold, err)
+				}
+				if want == "" {
+					want = err.Error()
+				} else if err.Error() != want {
+					t.Fatalf("nondeterministic failure report:\n%q\n%q", err.Error(), want)
+				}
+			}()
+		}
+	}
+	if !strings.Contains(want, "vertex ") {
+		t.Fatalf("failure report %q does not name the vertex", want)
+	}
+}
+
+func TestVertexAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(750))
+	net := NewNetworkPermuted(graph.Path(5), rng)
+	res, err := net.Run(vertexEcho{}, RunOptions{Delivery: DeliveryBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range res.OutputWords {
+		if int(w) != v {
+			t.Fatalf("vertex %d reported Vertex()=%d", v, w)
+		}
+	}
+}
+
+type vertexEcho struct{}
+
+func (vertexEcho) MessageWords() int { return 1 }
+func (vertexEcho) InputWidth() int   { return 0 }
+func (vertexEcho) OutputWidth() int  { return 1 }
+func (vertexEcho) InitWords(n *Node) {
+	n.SetOutputWord(int64(n.Vertex()))
+	n.Halt()
+}
+func (vertexEcho) Init(n *Node)                   { n.Halt() }
+func (vertexEcho) Step(n *Node, inbox []Message)  {}
+func (vertexEcho) StepWords(n *Node, i WordInbox) {}

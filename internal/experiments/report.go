@@ -49,12 +49,16 @@ type Record struct {
 	WallMS float64 `json:"wall_ms"`
 	N      int     `json:"n"`
 	Seed   int64   `json:"seed"`
-	// Delivery, Mallocs and AllocMB are set on scale-run records (exp
-	// "SCALE"): the message transport used, and the heap allocation
-	// count / bytes (MB) of the coloring run they bracket.
-	Delivery string  `json:"delivery,omitempty"`
-	Mallocs  uint64  `json:"mallocs,omitempty"`
-	AllocMB  float64 `json:"alloc_mb,omitempty"`
+	// Delivery, Mallocs, AllocMB and AllocsPerVertex are set on
+	// scale-run records (exp "SCALE"): the message transport used, the
+	// heap allocation count / bytes (MB) of the coloring run they
+	// bracket, and the normalized mallocs/n - the figure the typed
+	// word-I/O plumbing exists to keep in the single digits, gated in CI
+	// against a checked-in budget.
+	Delivery        string  `json:"delivery,omitempty"`
+	Mallocs         uint64  `json:"mallocs,omitempty"`
+	AllocMB         float64 `json:"alloc_mb,omitempty"`
+	AllocsPerVertex float64 `json:"allocs_per_vertex,omitempty"`
 }
 
 // NewRecord converts a row into its machine-readable form.

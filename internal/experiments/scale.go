@@ -112,6 +112,7 @@ func ScaleRun(opt ScaleOptions) (*ScaleResult, error) {
 		Mallocs:  after.Mallocs - before.Mallocs,
 		AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
 	}
+	rec.AllocsPerVertex = float64(rec.Mallocs) / float64(g.N())
 	if legalErr != nil {
 		rec.Note = legalErr.Error()
 	}

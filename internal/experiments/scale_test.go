@@ -94,6 +94,19 @@ func TestScaleRunShadow(t *testing.T) {
 	if batch.Record.Mallocs == 0 || boxed.Record.Mallocs == 0 {
 		t.Error("scale records missing allocation accounting")
 	}
+	// The typed word-I/O plane must keep the batch run GC-quiet: even at
+	// this small n (where fixed per-run costs are amortized over few
+	// vertices) the word path stays ~2 orders of magnitude below the
+	// boxed plane's ~70 allocs/vertex. A loose factor-10 bound catches
+	// any reintroduced per-vertex boxing without flaking on runtime
+	// noise.
+	if batch.Record.AllocsPerVertex <= 0 || boxed.Record.AllocsPerVertex <= 0 {
+		t.Error("scale records missing allocs_per_vertex")
+	}
+	if batch.Record.AllocsPerVertex*10 > boxed.Record.AllocsPerVertex {
+		t.Errorf("typed plane allocates %.2f allocs/vertex vs boxed %.2f - word I/O regressed",
+			batch.Record.AllocsPerVertex, boxed.Record.AllocsPerVertex)
+	}
 }
 
 // TestScaleRunFromPrebuiltGraph exercises the -graph path of the scale

@@ -52,6 +52,33 @@ func (forestAssign) Init(n *dist.Node) {
 
 func (forestAssign) Step(n *dist.Node, inbox []dist.Message) {}
 
+// MessageWords implements dist.FixedWidthAlgorithm; the assignment is
+// purely local, so no message is ever sent.
+func (forestAssign) MessageWords() int { return 1 }
+
+// InputWidth and OutputWidth implement dist.WordIOAlgorithm: one
+// parent-flag word in and one forest-index word out per visible port
+// (-1 marks a non-parent edge).
+func (forestAssign) InputWidth() int  { return dist.PerPort }
+func (forestAssign) OutputWidth() int { return dist.PerPort }
+
+func (forestAssign) InitWords(n *dist.Node) {
+	flags := n.InputWords()
+	out := n.OutputWords()
+	next := int64(0)
+	for p, w := range flags {
+		if w != 0 {
+			out[p] = next
+			next++
+		} else {
+			out[p] = -1
+		}
+	}
+	n.Halt()
+}
+
+func (forestAssign) StepWords(n *dist.Node, inbox dist.WordInbox) {}
+
 // Decompose computes an O(a)-forests decomposition in O(log n) time
 // (Lemma 2.2(2)): H-partition, (level,id) orientation, then local forest
 // assignment of each vertex's <= floor((2+eps)a) outgoing edges.
@@ -69,39 +96,68 @@ func Decompose(net *dist.Network, a int, eps Eps) (*ForestsDecomposition, error)
 func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseRounds int, baseMessages int64) (*ForestsDecomposition, error) {
 	g := net.Graph()
 	n := g.N()
-	inputs := make([]any, n)
-	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
-		flags := make([]bool, len(nbrs))
-		for p := range flags {
-			flags[p] = sigma.IsParentPort(v, p)
-		}
-		inputs[v] = forestAssignInput{ParentPort: flags}
-	}
-	res, err := net.Run(forestAssign{}, dist.RunOptions{Inputs: inputs})
-	if err != nil {
-		return nil, err
-	}
 	forestOf := make(map[[2]int]int, g.M())
 	numForests := 0
-	for v := 0; v < n; v++ {
-		out, ok := res.Outputs[v].(forestAssignOutput)
-		if !ok {
-			return nil, fmt.Errorf("forest: vertex %d missing assignment", v)
+	record := func(v, u, f int) {
+		if f < 0 {
+			return
 		}
-		nbrs := g.Neighbors(v)
-		for p, f := range out.ForestOfPort {
-			if f < 0 {
-				continue
+		key := [2]int{v, u}
+		if u < v {
+			key = [2]int{u, v}
+		}
+		forestOf[key] = f
+		if f+1 > numForests {
+			numForests = f + 1
+		}
+	}
+	var res *dist.Result
+	var err error
+	if net.WordIO(forestAssign{}) {
+		col := make([]int64, 0, 2*g.M())
+		for v := 0; v < n; v++ {
+			for p := range g.Neighbors(v) {
+				var w int64
+				if sigma.IsParentPort(v, p) {
+					w = 1
+				}
+				col = append(col, w)
 			}
-			u := nbrs[p]
-			key := [2]int{v, u}
-			if u < v {
-				key = [2]int{u, v}
+		}
+		res, err = net.RunWords(forestAssign{}, dist.RunOptions{InputWords: col})
+		if err != nil {
+			return nil, err
+		}
+		out, off := res.OutputWords, 0
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(v)
+			for p, u := range nbrs {
+				record(v, u, int(out[off+p]))
 			}
-			forestOf[key] = f
-			if f+1 > numForests {
-				numForests = f + 1
+			off += len(nbrs)
+		}
+	} else {
+		inputs := make([]any, n)
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(v)
+			flags := make([]bool, len(nbrs))
+			for p := range flags {
+				flags[p] = sigma.IsParentPort(v, p)
+			}
+			inputs[v] = forestAssignInput{ParentPort: flags}
+		}
+		res, err = net.Run(forestAssign{}, dist.RunOptions{Inputs: inputs})
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			out, ok := res.Outputs[v].(forestAssignOutput)
+			if !ok {
+				return nil, fmt.Errorf("forest: vertex %d missing assignment", v)
+			}
+			nbrs := g.Neighbors(v)
+			for p, f := range out.ForestOfPort {
+				record(v, nbrs[p], f)
 			}
 		}
 	}

@@ -86,6 +86,11 @@ func (a hpartitionAlgo) Step(n *dist.Node, inbox []dist.Message) {
 // single (ignored) word; presence is the signal.
 func (hpartitionAlgo) MessageWords() int { return 1 }
 
+// InputWidth and OutputWidth implement dist.WordIOAlgorithm: the peeling
+// takes no input and reports one level word per vertex.
+func (hpartitionAlgo) InputWidth() int  { return 0 }
+func (hpartitionAlgo) OutputWidth() int { return 1 }
+
 func (hpartitionAlgo) InitWords(n *dist.Node) {
 	n.SendAllWord(1)
 }
@@ -98,7 +103,7 @@ func (a hpartitionAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 		}
 	}
 	if activeNbrs <= a.threshold {
-		n.Output = n.Round()
+		n.SetOutputWord(int64(n.Round()))
 		n.Halt()
 		return
 	}
@@ -122,20 +127,32 @@ func ComputeHPartition(net *dist.Network, a int, eps Eps, labels []int, active [
 	g := net.Graph()
 	threshold := eps.Threshold(a)
 	budget := eps.MaxLevels(g.N()) + 2
-	res, err := net.Run(hpartitionAlgo{threshold: threshold}, dist.RunOptions{
-		MaxRounds: budget,
-		Labels:    labels,
-		Active:    active,
-	})
+	algo := hpartitionAlgo{threshold: threshold}
+	opts := dist.RunOptions{MaxRounds: budget, Labels: labels, Active: active}
+	var res *dist.Result
+	var err error
+	wordIO := net.WordIO(algo)
+	if wordIO {
+		res, err = net.RunWords(algo, opts)
+	} else {
+		res, err = net.Run(algo, opts)
+	}
 	if err != nil {
 		if errors.Is(err, dist.ErrMaxRounds) {
 			return nil, fmt.Errorf("%w (bound a=%d, threshold=%d)", ErrArboricityTooSmall, a, threshold)
 		}
 		return nil, err
 	}
-	levels, err := dist.IntOutputs(res, 0)
-	if err != nil {
-		return nil, err
+	var levels []int
+	if wordIO {
+		levels = make([]int, g.N())
+		if err := dist.IntsFromWords(res, levels); err != nil {
+			return nil, err
+		}
+	} else {
+		if levels, err = dist.IntOutputs(res, 0); err != nil {
+			return nil, err
+		}
 	}
 	numLevels := 0
 	for _, l := range levels {

@@ -76,26 +76,31 @@ func orientDir(in orientInput, level, key int) int8 {
 // sender's level and key.
 func (orientExchange) MessageWords() int { return 2 }
 
+// InputWidth and OutputWidth implement dist.WordIOAlgorithm: two input
+// words per vertex (level, key) and one direction word per visible port
+// (+1 parent, -1 child, 0 unoriented/silent).
+func (orientExchange) InputWidth() int  { return 2 }
+func (orientExchange) OutputWidth() int { return dist.PerPort }
+
 func (orientExchange) InitWords(n *dist.Node) {
-	in := n.Input.(orientInput)
+	in := n.InputWords()
 	for p := 0; p < n.Degree(); p++ {
 		w := n.SendWords(p)
-		w[0] = int64(in.Level)
-		w[1] = int64(in.Key)
+		w[0] = in[0]
+		w[1] = in[1]
 	}
 }
 
 func (orientExchange) StepWords(n *dist.Node, inbox dist.WordInbox) {
-	in := n.Input.(orientInput)
-	dirs := make([]int8, inbox.Ports())
-	for p := range dirs {
+	in := orientInput{Level: int(n.InputWords()[0]), Key: int(n.InputWords()[1])}
+	out := n.OutputWords()
+	for p := range out {
 		if !inbox.Has(p) {
 			continue
 		}
 		w := inbox.Words(p)
-		dirs[p] = orientDir(in, int(w[0]), int(w[1]))
+		out[p] = int64(orientDir(in, int(w[0]), int(w[1])))
 	}
-	n.Output = orientOutput{PortDir: dirs}
 	n.Halt()
 }
 
@@ -117,6 +122,35 @@ func OrientByLevelKey(net *dist.Network, levels, keys []int, labels []int, activ
 	if len(levels) != n || len(keys) != n {
 		return nil, fmt.Errorf("forest: levels/keys length mismatch")
 	}
+	sigma := graph.NewOrientation(g)
+	if net.WordIO(orientExchange{}) {
+		col := make([]int64, 2*n)
+		for v := 0; v < n; v++ {
+			col[2*v] = int64(levels[v])
+			col[2*v+1] = int64(keys[v])
+		}
+		res, err := net.RunWords(orientExchange{}, dist.RunOptions{InputWords: col, Labels: labels, Active: active})
+		if err != nil {
+			return nil, err
+		}
+		// Decode the per-port direction column in the engine's layout
+		// order (active vertices ascending, visible ports ascending).
+		out, off := res.OutputWords, 0
+		var orientErr error
+		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+			dirs := out[off : off+len(ports)]
+			off += len(ports)
+			for p, d := range dirs {
+				if d == +1 && orientErr == nil {
+					orientErr = sigma.Orient(v, ports[p])
+				}
+			}
+		})
+		if orientErr != nil {
+			return nil, orientErr
+		}
+		return &OrientResult{Sigma: sigma, Rounds: res.Rounds, Messages: res.Messages}, nil
+	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
 		inputs[v] = orientInput{Level: levels[v], Key: keys[v]}
@@ -125,7 +159,6 @@ func OrientByLevelKey(net *dist.Network, levels, keys []int, labels []int, activ
 	if err != nil {
 		return nil, err
 	}
-	sigma := graph.NewOrientation(g)
 	for v := 0; v < n; v++ {
 		out, ok := res.Outputs[v].(orientOutput)
 		if !ok {

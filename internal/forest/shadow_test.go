@@ -1,0 +1,160 @@
+package forest
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// The forest-phase shadow suite pins the typed word-I/O plane of every
+// phase in this package - H-partition, orientation exchange,
+// wait-for-parents, forest assignment - bit-for-bit against the boxed
+// []any fallback, by running each orchestrator under both forced
+// transports on the same permuted network.
+
+func shadowNets(g *graph.Graph) (word, boxed *dist.Network) {
+	base := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(91)))
+	return base.WithDelivery(dist.DeliveryBatch), base.WithDelivery(dist.DeliveryBoxed)
+}
+
+func TestHPartitionWordShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := graph.ForestUnion(500, 3, rng)
+	word, boxed := shadowNets(g)
+	labels := make([]int, g.N())
+	for v := range labels {
+		labels[v] = rng.Intn(2)
+	}
+	for _, lb := range [][]int{nil, labels} {
+		hw, err := ComputeHPartition(word, 3, DefaultEps, lb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := ComputeHPartition(boxed, 3, DefaultEps, lb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hw, hb) {
+			t.Fatalf("H-partitions diverged across planes (labels=%v)", lb != nil)
+		}
+	}
+}
+
+func TestOrientByLevelKeyWordShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g := graph.Gnp(300, 0.02, rng)
+	word, boxed := shadowNets(g)
+	levels := make([]int, g.N())
+	keys := make([]int, g.N())
+	active := make([]bool, g.N())
+	for v := range levels {
+		levels[v] = rng.Intn(4)
+		keys[v] = rng.Intn(50)
+		active[v] = rng.Intn(10) > 0
+	}
+	for _, act := range [][]bool{nil, active} {
+		ow, err := OrientByLevelKey(word, levels, keys, nil, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := OrientByLevelKey(boxed, levels, keys, nil, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ow.Rounds != ob.Rounds || ow.Messages != ob.Messages {
+			t.Fatalf("orientation counters diverged: word %d/%d boxed %d/%d",
+				ow.Rounds, ow.Messages, ob.Rounds, ob.Messages)
+		}
+		for v := 0; v < g.N(); v++ {
+			if !reflect.DeepEqual(ow.Sigma.PortDirs(v), ob.Sigma.PortDirs(v)) {
+				t.Fatalf("vertex %d oriented differently across planes", v)
+			}
+		}
+	}
+}
+
+func TestWaitColorWordShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	g := graph.ForestUnion(400, 4, rng)
+	word, boxed := shadowNets(g)
+	// Orient towards the larger endpoint: acyclic, bounded length.
+	sigma := graph.NewOrientation(g)
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				if err := sigma.Orient(v, u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	palette := sigma.MaxOutDegree() + 1
+	for _, rule := range []ChoiceRule{RuleFirstFree, RuleLeastUsed} {
+		ww, err := WaitColor(word, sigma, palette, rule, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := WaitColor(boxed, sigma, palette, rule, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ww, wb) {
+			t.Fatalf("rule %v: wait-color runs diverged across planes", rule)
+		}
+	}
+}
+
+// TestWaitColorPaletteExhaustedFailsOnBothPlanes pins the Node.Fail
+// error path: with a one-color palette under RuleFirstFree, any vertex
+// with a parent fails, the run aborts, and both planes report the same
+// palette-exhausted error through the per-run error slot.
+func TestWaitColorPaletteExhaustedFailsOnBothPlanes(t *testing.T) {
+	g := graph.Path(3)
+	word, boxed := shadowNets(g)
+	sigma := graph.NewOrientation(g)
+	if err := sigma.Orient(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sigma.Orient(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, net := range []*dist.Network{word, boxed} {
+		_, err := WaitColor(net, sigma, 1, RuleFirstFree, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "palette of size 1 exhausted") {
+			t.Fatalf("got %v, want palette-exhausted failure", err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("planes report different failures:\nword  %q\nboxed %q", msgs[0], msgs[1])
+	}
+}
+
+func TestDecomposeWordShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	g := graph.ForestUnion(300, 3, rng)
+	word, boxed := shadowNets(g)
+	dw, err := Decompose(word, 3, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Decompose(boxed, 3, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.NumForests != db.NumForests || dw.Rounds != db.Rounds || dw.Messages != db.Messages {
+		t.Fatalf("decompositions diverged: word %d forests %d/%d, boxed %d forests %d/%d",
+			dw.NumForests, dw.Rounds, dw.Messages, db.NumForests, db.Rounds, db.Messages)
+	}
+	if !reflect.DeepEqual(dw.ForestOf, db.ForestOf) {
+		t.Fatal("forest assignments diverged across planes")
+	}
+	if err := dw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package forest
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -56,7 +57,9 @@ func (r ChoiceRule) choose(counts []int) (int, error) {
 	}
 }
 
-// WaitColorInput is the per-node input of the wait-for-parents engine.
+// WaitColorInput is the per-node input of the boxed fallback plane. The
+// typed word plane carries Palette and Rule in the algorithm value and
+// the parent flags in the per-port input column.
 type WaitColorInput struct {
 	// ParentPort flags which visible ports lead to parents under sigma.
 	ParentPort []bool
@@ -69,11 +72,50 @@ type WaitColorInput struct {
 type waitColorState struct {
 	parentColors []int // counts per palette color
 	pending      int   // parents not yet heard from
-	errMsg       string
 }
 
-// WaitColorAlgo is the dist.Algorithm for the engine.
-type WaitColorAlgo struct{}
+// WaitColorAlgo is the vertex program of the engine.
+//
+// On the boxed []any plane the zero value is ready to use and reads
+// per-vertex WaitColorInput structs (the reference fallback). On the
+// typed word plane, construct it with newWordWaitColor. Word layout: the
+// input column holds one word per visible port and doubles as the
+// node's per-run state - 0 marks a non-parent port, 1 a parent not yet
+// heard from, and c+2 a parent that announced color c (so callers must
+// not reuse the column expecting the original flags). The output column
+// is one word per vertex, the chosen color. With the waiting state
+// folded into the input column the word path allocates nothing per
+// vertex.
+type WaitColorAlgo struct {
+	// Palette and Rule are the uniform globally known parameters of the
+	// word plane; the boxed fallback ignores them.
+	Palette int
+	Rule    ChoiceRule
+
+	// pool recycles the transient parent-color count buffer used when a
+	// node finishes.
+	pool *sync.Pool
+}
+
+// newWordWaitColor prepares the word-I/O form of the engine.
+func newWordWaitColor(palette int, rule ChoiceRule) WaitColorAlgo {
+	return WaitColorAlgo{
+		Palette: palette,
+		Rule:    rule,
+		pool:    &sync.Pool{New: func() any { return new(countScratch) }},
+	}
+}
+
+type countScratch struct{ counts []int }
+
+// MessageWords implements dist.FixedWidthAlgorithm: a message is the
+// sender's chosen color.
+func (WaitColorAlgo) MessageWords() int { return 1 }
+
+// InputWidth and OutputWidth implement dist.WordIOAlgorithm: one
+// parent-flag word per visible port in, one color word per vertex out.
+func (WaitColorAlgo) InputWidth() int  { return dist.PerPort }
+func (WaitColorAlgo) OutputWidth() int { return 1 }
 
 func (WaitColorAlgo) Init(n *dist.Node) {
 	if c, announce := waitColorInit(n); announce {
@@ -81,10 +123,20 @@ func (WaitColorAlgo) Init(n *dist.Node) {
 	}
 }
 
-// InitWords is Init on the batch transport.
-func (WaitColorAlgo) InitWords(n *dist.Node) {
-	if c, announce := waitColorInit(n); announce {
-		n.SendAllWord(int64(c))
+// InitWords is Init on the typed word plane.
+func (a WaitColorAlgo) InitWords(n *dist.Node) {
+	if a.Palette < 1 {
+		n.Failf("forest: bad wait-color palette %d", a.Palette)
+		return
+	}
+	pending := 0
+	for _, w := range n.InputWords() {
+		if w == 1 {
+			pending++
+		}
+	}
+	if pending == 0 {
+		a.finishWords(n)
 	}
 }
 
@@ -93,8 +145,7 @@ func (WaitColorAlgo) InitWords(n *dist.Node) {
 func waitColorInit(n *dist.Node) (int, bool) {
 	in, ok := n.Input.(WaitColorInput)
 	if !ok || in.Palette < 1 {
-		n.Output = fmt.Errorf("forest: bad wait-color input %T", n.Input)
-		n.Halt()
+		n.Failf("forest: bad wait-color input %T", n.Input)
 		return 0, false
 	}
 	pending := 0
@@ -110,10 +161,6 @@ func waitColorInit(n *dist.Node) (int, bool) {
 	}
 	return 0, false
 }
-
-// MessageWords implements dist.FixedWidthAlgorithm: a message is the
-// sender's chosen color.
-func (WaitColorAlgo) MessageWords() int { return 1 }
 
 func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 	in := n.Input.(WaitColorInput)
@@ -131,20 +178,24 @@ func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 	}
 }
 
-// StepWords is Step on the batch transport.
-func (WaitColorAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
-	in := n.Input.(WaitColorInput)
-	st := n.State.(*waitColorState)
-	for p := 0; p < inbox.Ports(); p++ {
-		if !inbox.Has(p) || p >= len(in.ParentPort) || !in.ParentPort[p] {
-			continue
+// StepWords is Step on the typed word plane: announced parent colors are
+// recorded into the node's own input slots (flag 1 -> color+2), so the
+// only remaining state is the words themselves.
+func (a WaitColorAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	ports := n.InputWords()
+	pending := 0
+	for p := range ports {
+		if ports[p] != 1 {
+			continue // non-parent, or parent already recorded
 		}
-		st.record(int(inbox.Word(p)))
+		if inbox.Has(p) {
+			ports[p] = inbox.Word(p) + 2
+		} else {
+			pending++
+		}
 	}
-	if st.pending <= 0 {
-		if c, announce := finishWaitColor(n, in, st); announce {
-			n.SendAllWord(int64(c))
-		}
+	if pending == 0 {
+		a.finishWords(n)
 	}
 }
 
@@ -160,13 +211,37 @@ func (st *waitColorState) record(c int) {
 func finishWaitColor(n *dist.Node, in WaitColorInput, st *waitColorState) (int, bool) {
 	c, err := in.Rule.choose(st.parentColors)
 	if err != nil {
-		n.Output = err
-		n.Halt()
+		n.Fail(err)
 		return 0, false
 	}
 	n.Output = c
 	n.Halt()
 	return c, true
+}
+
+// finishWords is finishWaitColor on the word plane: parent counts are
+// rebuilt from the recorded input words into pooled scratch.
+func (a WaitColorAlgo) finishWords(n *dist.Node) {
+	sc := a.pool.Get().(*countScratch)
+	if cap(sc.counts) < a.Palette {
+		sc.counts = make([]int, a.Palette)
+	}
+	counts := sc.counts[:a.Palette]
+	clear(counts)
+	for _, w := range n.InputWords() {
+		if c := int(w) - 2; c >= 0 && c < a.Palette {
+			counts[c]++
+		}
+	}
+	c, err := a.Rule.choose(counts)
+	a.pool.Put(sc)
+	if err != nil {
+		n.Fail(err)
+		return
+	}
+	n.SetOutputWord(int64(c))
+	n.Halt()
+	n.SendAllWord(int64(c))
 }
 
 // WaitColorResult reports a wait-for-parents run.
@@ -180,10 +255,46 @@ type WaitColorResult struct {
 // colors k; rule selects the per-vertex choice. labels/active optionally
 // restrict to subgraphs (sigma must then orient only intra-subgraph edges,
 // as produced by OrientByLevelKey with the same filters). Running time is
-// len(sigma)+1 rounds.
+// len(sigma)+1 rounds. It takes the typed word path when the network
+// resolves to the batch transport and the boxed []any fallback otherwise.
 func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule ChoiceRule, labels []int, active []bool) (*WaitColorResult, error) {
 	g := net.Graph()
 	n := g.N()
+	length, err := sigma.Length()
+	if err != nil {
+		return nil, fmt.Errorf("forest: wait-color needs acyclic orientation: %w", err)
+	}
+	colors := make([]int, n)
+	if net.WordIO(WaitColorAlgo{}) {
+		// Parent flags in the engine's per-port column order. Note: these
+		// are VISIBLE ports (label/active-filtered), so they do not align
+		// with sigma's graph ports; query by neighbor vertex. 2M bounds
+		// the visible directed edge count under any filter, so the column
+		// grows at most once.
+		col := make([]int64, 0, 2*g.M())
+		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+			for _, u := range ports {
+				var w int64
+				if sigma.IsParent(v, u) {
+					w = 1
+				}
+				col = append(col, w)
+			}
+		})
+		res, err := net.RunWords(newWordWaitColor(palette, rule), dist.RunOptions{
+			InputWords: col,
+			Labels:     labels,
+			Active:     active,
+			MaxRounds:  length + 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := dist.IntsFromWords(res, colors); err != nil {
+			return nil, err
+		}
+		return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages}, nil
+	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
 		// Note: these are VISIBLE ports (label/active-filtered), so they do
@@ -195,10 +306,6 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 		}
 		inputs[v] = WaitColorInput{ParentPort: flags, Palette: palette, Rule: rule}
 	}
-	length, err := sigma.Length()
-	if err != nil {
-		return nil, fmt.Errorf("forest: wait-color needs acyclic orientation: %w", err)
-	}
 	res, err := net.Run(WaitColorAlgo{}, dist.RunOptions{
 		Inputs:    inputs,
 		Labels:    labels,
@@ -208,12 +315,13 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 	if err != nil {
 		return nil, err
 	}
-	colors := make([]int, n)
 	for v, o := range res.Outputs {
 		switch x := o.(type) {
 		case int:
 			colors[v] = x
 		case error:
+			// Legacy boxed-plane error smuggling; kept defensively for the
+			// fallback only (the engine's Fail path reports errors now).
 			return nil, fmt.Errorf("forest: vertex %d: %w", v, x)
 		case nil:
 			colors[v] = 0 // inactive

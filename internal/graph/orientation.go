@@ -240,42 +240,56 @@ func (o *Orientation) Lengths() ([]int, error) {
 	lens := make([]int, n)
 
 	// Iterative DFS with explicit stack to avoid recursion depth limits.
+	// Frames walk the adjacency ports directly instead of materializing a
+	// Parents slice per vertex: Length() sits on the pipeline hot path
+	// (every wait-for-parents phase derives its round budget from it) and
+	// the per-vertex parent slices dominated its allocation profile.
 	type frame struct {
-		v       int
-		parents []int
-		next    int
+		v    int
+		next int // next adjacency port to examine
 	}
+	var stack []frame
 	for s := 0; s < n; s++ {
 		if state[s] != unvisited {
 			continue
 		}
-		stack := []frame{{v: s, parents: o.Parents(s)}}
+		stack = append(stack[:0], frame{v: s})
 		state[s] = inStack
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.next < len(f.parents) {
-				p := f.parents[f.next]
+			adj := o.g.adj[f.v]
+			pushed := false
+			for f.next < len(adj) {
+				p := f.next
+				u := adj[p]
 				f.next++
-				switch state[p] {
+				if !o.isParentPort(f.v, u, p) {
+					continue
+				}
+				switch state[u] {
 				case inStack:
 					return nil, ErrCyclic
 				case unvisited:
-					state[p] = inStack
-					stack = append(stack, frame{v: p, parents: o.Parents(p)})
-				case done:
-					if lens[p]+1 > lens[f.v] {
-						lens[f.v] = lens[p] + 1
-					}
+					state[u] = inStack
+					stack = append(stack, frame{v: u})
+					pushed = true
 				}
+				// done parents are folded at pop time below.
+				if pushed {
+					break
+				}
+			}
+			if pushed {
 				continue
 			}
-			// All parents resolved; fold into our own length and pop.
-			for _, p := range f.parents {
-				if lens[p]+1 > lens[f.v] {
-					lens[f.v] = lens[p] + 1
+			// All parents resolved; fold their lengths and pop.
+			v := f.v
+			for p, u := range adj {
+				if o.isParentPort(v, u, p) && lens[u]+1 > lens[v] {
+					lens[v] = lens[u] + 1
 				}
 			}
-			state[f.v] = done
+			state[v] = done
 			stack = stack[:len(stack)-1]
 		}
 	}

@@ -67,19 +67,13 @@ func Partial(net *dist.Network, a, t int, eps forest.Eps, labels []int, active [
 		degBound := eps.Threshold(a)
 		target := a / t
 		plan := recolor.Plan(n, degBound, target)
-		inputs := make([]any, n)
-		for v := 0; v < n; v++ {
-			inputs[v] = recolor.Input{Color: -1, M0: n, DegBound: degBound, TargetDefect: target}
-		}
-		res, err := net.Run(recolor.Algo{}, dist.RunOptions{Inputs: inputs, Labels: levelLabels, Active: active})
+		colors := make([]int, n)
+		p := recolor.Params{Color: -1, M0: n, DegBound: degBound, TargetDefect: target}
+		rounds, msgs, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
 		if err != nil {
 			return nil, 0, 0, 0, err
 		}
-		colors, err := dist.IntOutputs(res, 0)
-		if err != nil {
-			return nil, 0, 0, 0, err
-		}
-		return colors, plan.FinalColors(), res.Rounds, res.Messages, nil
+		return colors, plan.FinalColors(), rounds, msgs, nil
 	})
 }
 
@@ -95,19 +89,13 @@ func Complete(net *dist.Network, a int, eps forest.Eps, method LevelColoring, la
 		switch method {
 		case LevelLinial:
 			plan := recolor.Plan(n, degBound, 0)
-			inputs := make([]any, n)
-			for v := 0; v < n; v++ {
-				inputs[v] = recolor.Input{Color: -1, M0: n, DegBound: degBound, TargetDefect: 0}
-			}
-			res, err := net.Run(recolor.Algo{}, dist.RunOptions{Inputs: inputs, Labels: levelLabels, Active: active})
+			colors := make([]int, n)
+			p := recolor.Params{Color: -1, M0: n, DegBound: degBound, TargetDefect: 0}
+			rounds, msgs, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
 			if err != nil {
 				return nil, 0, 0, 0, err
 			}
-			colors, err := dist.IntOutputs(res, 0)
-			if err != nil {
-				return nil, 0, 0, 0, err
-			}
-			return colors, plan.FinalColors(), res.Rounds, res.Messages, nil
+			return colors, plan.FinalColors(), rounds, msgs, nil
 		case LevelDeltaPlusOne:
 			dres, err := deltacolor.ColorWithin(net, levelLabels, active, degBound)
 			if err != nil {

@@ -3,6 +3,7 @@ package recolor
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/field"
@@ -30,15 +31,85 @@ type Input struct {
 	ParentPort []bool
 }
 
-// Algo is the dist.Algorithm executing a recoloring schedule. The zero
-// value is ready to use; it is stateless (per-node state lives in the
-// Node). It also implements dist.FixedWidthAlgorithm (messages are single
-// colors), so runs use the columnar batch transport by default.
-type Algo struct{}
+// Params are the globally known, vertex-uniform parameters of a
+// word-I/O recoloring run - the quantities every node of the (sub)graph
+// derives its schedule from. They mirror the scalar fields of Input,
+// which remains the per-vertex form of the boxed fallback plane.
+type Params struct {
+	// Color is the uniform initial color; negative means "use ID-1".
+	Color int
+	// M0, DegBound and TargetDefect are as in Input.
+	M0, DegBound, TargetDefect int
+}
+
+// Algo is the vertex program executing a recoloring schedule.
+//
+// On the boxed []any plane the zero value is ready to use and reads a
+// per-vertex Input struct (the reference fallback). On the typed
+// word-I/O plane (dist.WordIOAlgorithm), construct it with NewAlgo: the
+// schedule, field families and step scratch are resolved once per run
+// and shared by all nodes, so the word path performs no per-vertex
+// allocation at all. Word layout: the input column is one parent-flag
+// word per visible port (present only for the arbdefective variant);
+// the output column is one word per vertex holding the node's current -
+// and finally legal/defective - color.
+type Algo struct {
+	// P holds the uniform parameters of the word-I/O plane; the boxed
+	// fallback ignores it and reads per-vertex Input structs instead.
+	P Params
+
+	// arb flags the arbdefective variant: conflict neighbors are the
+	// ports flagged nonzero in the per-port input column.
+	arb bool
+	// fams is the memoized family of every schedule step, resolved once
+	// by NewAlgo and shared read-only by all nodes.
+	fams []*field.Family
+	// maxQ sizes the per-worker step scratch.
+	maxQ int
+	// pool recycles step scratch across Step calls; sync.Pool keeps the
+	// steady state allocation-free without per-node buffers.
+	pool *sync.Pool
+}
+
+// NewAlgo prepares the word-I/O form of the recoloring program for the
+// given uniform parameters. arb selects the arbdefective variant, whose
+// runs take a per-port parent-flag input column.
+func NewAlgo(p Params, arb bool) (Algo, error) {
+	plan := Plan(p.M0, p.DegBound, p.TargetDefect)
+	if err := plan.Validate(); err != nil {
+		return Algo{}, err
+	}
+	maxQ := 0
+	for _, step := range plan.Steps {
+		if step.Q > maxQ {
+			maxQ = step.Q
+		}
+	}
+	return Algo{
+		P:    p,
+		arb:  arb,
+		fams: stepFamilies(plan),
+		maxQ: maxQ,
+		pool: &sync.Pool{New: func() any { return new(wordScratch) }},
+	}, nil
+}
 
 // MessageWords implements dist.FixedWidthAlgorithm: every message is one
 // color word.
 func (Algo) MessageWords() int { return 1 }
+
+// InputWidth implements dist.WordIOAlgorithm: the arbdefective variant
+// takes one parent-flag word per visible port, the plain variant no
+// input column at all.
+func (a Algo) InputWidth() int {
+	if a.arb {
+		return dist.PerPort
+	}
+	return 0
+}
+
+// OutputWidth implements dist.WordIOAlgorithm: one color word per vertex.
+func (Algo) OutputWidth() int { return 1 }
 
 type nodeState struct {
 	plan      Schedule
@@ -73,11 +144,34 @@ func (Algo) Init(n *dist.Node) {
 	}
 }
 
-// InitWords is Init on the batch transport.
-func (Algo) InitWords(n *dist.Node) {
-	if c, announce := initNode(n); announce {
-		n.SendAllWord(int64(c))
+// InitWords is Init on the typed word plane: the schedule is shared via
+// the receiver (NewAlgo), the node's evolving color lives in its output
+// word, and the step index is the round number - so no per-node state
+// object exists at all.
+func (a Algo) InitWords(n *dist.Node) {
+	if a.fams == nil && a.P == (Params{}) {
+		// Zero-value Algo on the word plane mirrors the boxed defensive
+		// default: the trivial legal n-coloring from identifiers.
+		n.SetOutputWord(int64(n.ID() - 1))
+		n.Halt()
+		return
 	}
+	if a.P.TargetDefect >= a.P.DegBound {
+		// A single color class already satisfies the defect bound; the
+		// zeroed output word is the color 0.
+		n.Halt()
+		return
+	}
+	color := a.P.Color
+	if color < 0 {
+		color = n.ID() - 1
+	}
+	n.SetOutputWord(int64(color))
+	if len(a.fams) == 0 {
+		n.Halt()
+		return
+	}
+	n.SendAllWord(int64(color))
 }
 
 // initNode is the transport-independent part of Init: it derives the
@@ -167,25 +261,45 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 	}
 }
 
-// StepWords is Step on the batch transport.
-func (Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
-	st := n.State.(*nodeState)
-	in := n.Input.(Input)
+// wordScratch is the transient per-Step buffer set of the word plane,
+// recycled through Algo.pool: the scratch is only live within one
+// StepWords call, so a handful of pooled instances serve all workers.
+type wordScratch struct {
+	stepScratch
+	conflicts []int
+}
 
-	st.conflicts = st.conflicts[:0]
+// StepWords is Step on the typed word plane. The step index is
+// Round()-1 (all nodes run the schedule in lockstep) and the current
+// color is the node's own output word, so the call touches no per-node
+// state.
+func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	sc := a.pool.Get().(*wordScratch)
+	sc.grow(a.maxQ)
+	conflicts := sc.conflicts[:0]
+	var flags []int64
+	if a.arb {
+		flags = n.InputWords()
+	}
 	for p := 0; p < inbox.Ports(); p++ {
 		if !inbox.Has(p) {
 			continue
 		}
-		if in.ParentPort != nil && (p >= len(in.ParentPort) || !in.ParentPort[p]) {
+		if flags != nil && flags[p] == 0 {
 			continue
 		}
-		st.conflicts = append(st.conflicts, int(inbox.Word(p)))
+		conflicts = append(conflicts, int(inbox.Word(p)))
 	}
-
-	if c, announce := advance(n, st); announce {
-		n.SendAllWord(int64(c))
+	step := n.Round() - 1
+	color := sc.recolorOnce(a.fams[step], int(n.OutputWords()[0]), conflicts)
+	sc.conflicts = conflicts
+	a.pool.Put(sc)
+	n.SetOutputWord(int64(color))
+	if step+1 < len(a.fams) {
+		n.SendAllWord(int64(color))
+		return
 	}
+	n.Halt()
 }
 
 // advance applies one recoloring step to the gathered conflicts and
@@ -263,34 +377,86 @@ type Result struct {
 	Messages int64
 }
 
+// RunUniform executes the recoloring program with the uniform
+// parameters p on the label/active-filtered subgraphs, writing each
+// vertex's final color into dst (length n; inactive vertices report 0).
+// parentPorts - per vertex, aligned with its visible ports under the
+// same filters - selects the arbdefective variant when non-nil. It
+// takes the typed word path when the network resolves to the batch
+// transport and the boxed []any fallback otherwise, so forcing
+// dist.DeliveryBoxed on the network shadows the whole phase.
+func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int, active []bool, dst []int) (rounds int, messages int64, err error) {
+	g := net.Graph()
+	n := g.N()
+	if len(dst) != n {
+		return 0, 0, fmt.Errorf("recolor: %d color slots for %d vertices", len(dst), n)
+	}
+	algo, err := NewAlgo(p, parentPorts != nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if net.WordIO(algo) {
+		var inWords []int64
+		if parentPorts != nil {
+			// 2M bounds the visible directed edge count under any filter.
+			inWords = make([]int64, 0, 2*g.M())
+			dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+				flags := parentPorts[v]
+				for i := range ports {
+					var w int64
+					if i < len(flags) && flags[i] {
+						w = 1
+					}
+					inWords = append(inWords, w)
+				}
+			})
+		}
+		res, err := net.RunWords(algo, dist.RunOptions{InputWords: inWords, Labels: labels, Active: active})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := dist.IntsFromWords(res, dst); err != nil {
+			return 0, 0, err
+		}
+		return res.Rounds, res.Messages, nil
+	}
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		iv := Input{Color: p.Color, M0: p.M0, DegBound: p.DegBound, TargetDefect: p.TargetDefect}
+		if parentPorts != nil {
+			iv.ParentPort = parentPorts[v]
+		}
+		inputs[v] = iv
+	}
+	res, err := net.Run(algo, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
+	if err != nil {
+		return 0, 0, err
+	}
+	colors, err := dist.IntOutputs(res, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	copy(dst, colors)
+	return res.Rounds, res.Messages, nil
+}
+
 // run executes the algorithm with uniform inputs on all (active) vertices.
 func run(net *dist.Network, in Input, parentPorts [][]bool) (Result, error) {
 	plan := Plan(in.M0, in.DegBound, in.TargetDefect)
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
-	n := net.Graph().N()
-	inputs := make([]any, n)
-	for v := 0; v < n; v++ {
-		iv := in
-		if parentPorts != nil {
-			iv.ParentPort = parentPorts[v]
-		}
-		inputs[v] = iv
-	}
-	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs})
-	if err != nil {
-		return Result{}, err
-	}
-	colors, err := dist.IntOutputs(res, 0)
+	colors := make([]int, net.Graph().N())
+	p := Params{Color: in.Color, M0: in.M0, DegBound: in.DegBound, TargetDefect: in.TargetDefect}
+	rounds, msgs, err := RunUniform(net, p, parentPorts, nil, nil, colors)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Colors:   colors,
 		Schedule: plan,
-		Rounds:   res.Rounds,
-		Messages: res.Messages,
+		Rounds:   rounds,
+		Messages: msgs,
 	}, nil
 }
 

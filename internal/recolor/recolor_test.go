@@ -208,8 +208,11 @@ func TestDefectiveOnLabelledSubgraphs(t *testing.T) {
 		db := degBound[labels[v]]
 		inputs[v] = Input{Color: -1, M0: g.N(), DegBound: db, TargetDefect: db / 2}
 	}
+	// Heterogeneous per-vertex scalar inputs (a different DegBound per
+	// label class) only exist on the boxed plane; the word plane carries
+	// vertex-uniform Params in the algorithm value.
 	net := dist.NewNetwork(g)
-	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels})
+	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Delivery: dist.DeliveryBoxed})
 	if err != nil {
 		t.Fatal(err)
 	}

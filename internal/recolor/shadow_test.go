@@ -1,0 +1,79 @@
+package recolor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// shadowRunUniform runs RunUniform over both planes - the typed word
+// path on the batch transport versus the boxed []any fallback - and
+// fails unless colors, rounds and messages are bit-for-bit identical.
+func shadowRunUniform(t *testing.T, g *graph.Graph, rng *rand.Rand, p Params, parentPorts [][]bool, labels []int, active []bool) []int {
+	t.Helper()
+	run := func(d dist.Delivery) ([]int, int, int64) {
+		net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(42))).WithDelivery(d)
+		dst := make([]int, g.N())
+		rounds, msgs, err := RunUniform(net, p, parentPorts, labels, active, dst)
+		if err != nil {
+			t.Fatalf("delivery=%v: %v", d, err)
+		}
+		return dst, rounds, msgs
+	}
+	word, wr, wm := run(dist.DeliveryBatch)
+	boxed, br, bm := run(dist.DeliveryBoxed)
+	if wr != br || wm != bm {
+		t.Fatalf("planes diverged: word rounds=%d messages=%d, boxed rounds=%d messages=%d", wr, wm, br, bm)
+	}
+	if !reflect.DeepEqual(word, boxed) {
+		t.Fatal("word and boxed colorings diverge")
+	}
+	_ = rng
+	return word
+}
+
+func TestRunUniformWordShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := graph.Gnp(250, 0.03, rng)
+	n := g.N()
+	delta := g.MaxDegree()
+
+	// Linial (legal) and defective variants, whole graph.
+	shadowRunUniform(t, g, rng, Params{Color: -1, M0: n, DegBound: delta, TargetDefect: 0}, nil, nil, nil)
+	shadowRunUniform(t, g, rng, Params{Color: -1, M0: n, DegBound: delta, TargetDefect: delta / 2}, nil, nil, nil)
+
+	// Label/active-filtered run.
+	labels := make([]int, n)
+	active := make([]bool, n)
+	for v := range labels {
+		labels[v] = rng.Intn(2)
+		active[v] = rng.Intn(8) > 0
+	}
+	shadowRunUniform(t, g, rng, Params{Color: -1, M0: n, DegBound: delta, TargetDefect: 0}, nil, labels, active)
+}
+
+func TestRunUniformArbShadowsBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := graph.ForestUnion(300, 3, rng)
+
+	// Acyclic orientation: every edge towards the larger endpoint.
+	sigma := graph.NewOrientation(g)
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				if err := sigma.Orient(v, u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	flags := ParentPortFlags(g, sigma)
+	p := Params{Color: -1, M0: g.N(), DegBound: sigma.MaxOutDegree(), TargetDefect: 1}
+	colors := shadowRunUniform(t, g, rng, p, flags, nil, nil)
+	if len(colors) != g.N() {
+		t.Fatal("missing colors")
+	}
+}

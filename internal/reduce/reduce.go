@@ -11,13 +11,16 @@ package reduce
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dist"
 )
 
-// Input is the per-node input: the node's current color and the globally
-// known parameters (m, t). All nodes of a labelled class must agree on m
-// and t so the phase plan is derived identically everywhere.
+// Input is the per-node input of the boxed fallback plane: the node's
+// current color and the globally known parameters (m, t). All nodes of a
+// labelled class must agree on m and t so the phase plan is derived
+// identically everywhere. The typed word plane carries (m, t) in the
+// algorithm value instead and reads the color from the input column.
 type Input struct {
 	Color  int
 	M      int // current number of colors (color values lie in [0, M))
@@ -61,13 +64,54 @@ type state struct {
 	fold      int // folds completed within the current phase
 }
 
-// Algo is the dist.Algorithm performing the reduction. It also
-// implements dist.FixedWidthAlgorithm (messages are single colors), so
-// runs use the columnar batch transport by default.
-type Algo struct{}
+// Algo is the vertex program performing the reduction.
+//
+// On the boxed []any plane the zero value is ready to use and reads
+// per-vertex Input structs (the reference fallback). On the typed
+// word-I/O plane, construct it with newWordAlgo: the phase plan is
+// derived once and shared, each node's neighbor-color table is a slice
+// of one flat caller-owned arena, and the fold/phase position is derived
+// from the round number (all nodes run the plan in lockstep) - so the
+// word path performs no per-vertex allocation. Word layout: the input
+// column is one word per vertex (the initial color), the output column
+// one word per vertex (the node's current - and finally legal - color).
+type Algo struct {
+	// M and Target are the uniform globally known parameters of the word
+	// plane; the boxed fallback ignores them and reads Input structs.
+	M, Target int
+
+	// plan is makePlan(M, Target), shared read-only by all nodes.
+	plan []int
+	// nbrs is the flat neighbor-color arena; node v owns
+	// nbrs[off[v]:off[v]+deg(v)], initialized to -1 by the orchestrator.
+	nbrs []int
+	off  []int32
+	// pool recycles the transient taken-color scan buffer.
+	pool *sync.Pool
+}
+
+// newWordAlgo prepares the word-I/O form for one run. nbrs/off is the
+// per-port arena laid out by KWPooled.
+func newWordAlgo(m, target int, nbrs []int, off []int32) Algo {
+	return Algo{
+		M: m, Target: target,
+		plan: makePlan(m, target),
+		nbrs: nbrs, off: off,
+		pool: &sync.Pool{New: func() any { return new(takenScratch) }},
+	}
+}
+
+type takenScratch struct{ taken []bool }
 
 // MessageWords implements dist.FixedWidthAlgorithm.
 func (Algo) MessageWords() int { return 1 }
+
+// InputWidth implements dist.WordIOAlgorithm: one initial-color word
+// per vertex.
+func (Algo) InputWidth() int { return 1 }
+
+// OutputWidth implements dist.WordIOAlgorithm: one color word per vertex.
+func (Algo) OutputWidth() int { return 1 }
 
 func (Algo) Init(n *dist.Node) {
 	if c, announce := reduceInit(n); announce {
@@ -75,18 +119,21 @@ func (Algo) Init(n *dist.Node) {
 	}
 }
 
-// InitWords is Init on the batch transport.
-func (Algo) InitWords(n *dist.Node) {
-	if c, announce := reduceInit(n); announce {
-		n.SendAllWord(int64(c))
+// InitWords is Init on the typed word plane.
+func (a Algo) InitWords(n *dist.Node) {
+	color := n.InputWords()[0]
+	n.SetOutputWord(color)
+	if a.M <= a.Target {
+		n.Halt()
+		return
 	}
+	n.SendAllWord(color)
 }
 
 func reduceInit(n *dist.Node) (int, bool) {
 	in, ok := n.Input.(Input)
 	if !ok {
-		n.Output = fmt.Errorf("reduce: bad input %T", n.Input)
-		n.Halt()
+		n.Failf("reduce: bad input %T", n.Input)
 		return 0, false
 	}
 	if in.M <= in.Target {
@@ -122,23 +169,97 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 	}
 }
 
-// StepWords is Step on the batch transport.
-func (Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
-	in := n.Input.(Input)
-	st := n.State.(*state)
-
+// StepWords is Step on the typed word plane: the same fold/renumber
+// schedule against the flat arena, with the (phase, fold) position
+// derived from the round number instead of per-node counters.
+func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
+	deg := n.Degree()
+	o := int(a.off[n.Vertex()])
+	nbr := a.nbrs[o : o+deg : o+deg]
 	for p := 0; p < inbox.Ports(); p++ {
 		if inbox.Has(p) {
-			st.nbrColors[p] = int(inbox.Word(p))
+			nbr[p] = int(inbox.Word(p))
 		}
 	}
-	if c, announce := reduceAdvance(n, in, st); announce {
-		n.SendAllWord(int64(c))
+	t := a.Target
+	if n.Round() == 1 {
+		return // initial exchange round; folding starts next round
+	}
+	phase, fold := a.position(n.Round())
+
+	// Fold round: recolor the color class with in-group offset j.
+	folds := a.plan[phase]
+	j := t + folds - 1 - fold
+	color := int(n.OutputWords()[0])
+	recolored := false
+	if color%(2*t) == j {
+		lo := color / (2 * t) * (2 * t)
+		sc := a.pool.Get().(*takenScratch)
+		if cap(sc.taken) < t {
+			sc.taken = make([]bool, t)
+		}
+		taken := sc.taken[:t]
+		clear(taken)
+		for _, c := range nbr {
+			if c >= lo && c < lo+t {
+				taken[c-lo] = true
+			}
+		}
+		newColor := -1
+		for c := 0; c < t; c++ {
+			if !taken[c] {
+				newColor = lo + c
+				break
+			}
+		}
+		a.pool.Put(sc)
+		if newColor < 0 {
+			n.Failf("reduce: no free color (visible degree exceeds target-1)")
+			return
+		}
+		color = newColor
+		recolored = true
+	}
+
+	if fold == folds-1 {
+		// Phase complete: renumber c -> (c/2t)*t + (c mod 2t); see
+		// reduceAdvance for why this is applied locally everywhere.
+		color = color/(2*t)*t + color%(2*t)
+		for i, c := range nbr {
+			if c >= 0 {
+				nbr[i] = c/(2*t)*t + c%(2*t)
+			}
+		}
+		if phase == len(a.plan)-1 {
+			n.Halt()
+		}
+	}
+	n.SetOutputWord(int64(color))
+	// Announce after any renumbering so receivers, who renumber their
+	// tables in the same round, record a consistently-numbered value.
+	// Halting sends are still delivered.
+	if recolored {
+		n.SendAllWord(int64(color))
 	}
 }
 
-// reduceAdvance runs the transport-independent fold/renumber round; when
-// announce is true the caller broadcasts the node's recolored value.
+// position derives the (phase, fold-within-phase) of the given round
+// from the shared plan: round 2 executes the first fold, and every node
+// advances one fold per round in lockstep.
+func (a Algo) position(round int) (phase, fold int) {
+	k := round - 2
+	for p, folds := range a.plan {
+		if k < folds {
+			return p, k
+		}
+		k -= folds
+	}
+	// Unreachable: every node halts on the last fold of the last phase.
+	panic(fmt.Sprintf("reduce: round %d beyond the %d-phase plan", round, len(a.plan)))
+}
+
+// reduceAdvance runs the boxed-plane fold/renumber round; when announce
+// is true the caller broadcasts the node's recolored value.
 func reduceAdvance(n *dist.Node, in Input, st *state) (int, bool) {
 	t := in.Target
 	if n.Round() == 1 {
@@ -165,8 +286,7 @@ func reduceAdvance(n *dist.Node, in Input, st *state) (int, bool) {
 			}
 		}
 		if newColor < 0 {
-			n.Output = fmt.Errorf("reduce: no free color (visible degree exceeds target-1)")
-			n.Halt()
+			n.Failf("reduce: no free color (visible degree exceeds target-1)")
 			return 0, false
 		}
 		st.color = newColor
@@ -208,18 +328,82 @@ type Result struct {
 	Messages int64
 }
 
+// Pool holds the reusable scratch of KWPooled - the per-port
+// neighbor-color arena, its offsets and the input column - so
+// orchestrators that reduce once per recursion level stop reallocating
+// them. The zero value is ready; it grows to the largest run it serves.
+type Pool struct {
+	nbrs []int
+	off  []int32
+	col  []int64
+}
+
 // KW reduces a legal m-coloring to a legal target-coloring within each
 // label class (labels/active may be nil for the whole graph). target must
 // exceed the maximum visible degree. Costs O(target * log(m/target))
 // rounds.
 func KW(net *dist.Network, colors []int, m, target int, labels []int, active []bool) (*Result, error) {
+	out := make([]int, len(colors))
+	var pool Pool
+	rounds, msgs, err := KWPooled(net, colors, m, target, labels, active, &pool, out)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Colors: out, Rounds: rounds, Messages: msgs}, nil
+}
+
+// KWPooled is KW threading caller-owned scratch: dst (length n) receives
+// the reduced coloring and pool is reused across calls. dst may alias
+// colors - the input column is filled before the run and decoded after.
+// It takes the typed word path when the network resolves to the batch
+// transport and the boxed []any fallback otherwise.
+func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, active []bool, pool *Pool, dst []int) (rounds int, messages int64, err error) {
 	g := net.Graph()
 	n := g.N()
 	if len(colors) != n {
-		return nil, fmt.Errorf("reduce: %d colors for %d vertices", len(colors), n)
+		return 0, 0, fmt.Errorf("reduce: %d colors for %d vertices", len(colors), n)
+	}
+	if len(dst) != n {
+		return 0, 0, fmt.Errorf("reduce: %d color slots for %d vertices", len(dst), n)
 	}
 	if target < 1 {
-		return nil, fmt.Errorf("reduce: target %d < 1", target)
+		return 0, 0, fmt.Errorf("reduce: target %d < 1", target)
+	}
+	if net.WordIO(Algo{}) {
+		// Lay out the per-port arena in the engine's column order.
+		if cap(pool.off) < n {
+			pool.off = make([]int32, n)
+		}
+		off := pool.off[:n]
+		total := 0
+		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+			off[v] = int32(total)
+			total += len(ports)
+		})
+		if cap(pool.nbrs) < total {
+			pool.nbrs = make([]int, total)
+		}
+		nbrs := pool.nbrs[:total]
+		for i := range nbrs {
+			nbrs[i] = -1
+		}
+		if cap(pool.col) < n {
+			pool.col = make([]int64, n)
+		}
+		col := pool.col[:n]
+		for v := 0; v < n; v++ {
+			col[v] = int64(colors[v])
+		}
+		res, err := net.RunWords(newWordAlgo(m, target, nbrs, off), dist.RunOptions{
+			InputWords: col, Labels: labels, Active: active,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := dist.IntsFromWords(res, dst); err != nil {
+			return 0, 0, err
+		}
+		return res.Rounds, res.Messages, nil
 	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -227,20 +411,21 @@ func KW(net *dist.Network, colors []int, m, target int, labels []int, active []b
 	}
 	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	out := make([]int, n)
 	for v, o := range res.Outputs {
 		switch x := o.(type) {
 		case int:
-			out[v] = x
+			dst[v] = x
 		case error:
-			return nil, fmt.Errorf("reduce: vertex %d: %w", v, x)
+			// Legacy boxed-plane error smuggling; kept defensively for the
+			// fallback only (the engine's Fail path reports errors now).
+			return 0, 0, fmt.Errorf("reduce: vertex %d: %w", v, x)
 		case nil:
-			out[v] = 0
+			dst[v] = 0
 		default:
-			return nil, fmt.Errorf("reduce: vertex %d unexpected output %T", v, o)
+			return 0, 0, fmt.Errorf("reduce: vertex %d unexpected output %T", v, o)
 		}
 	}
-	return &Result{Colors: out, Rounds: res.Rounds, Messages: res.Messages}, nil
+	return res.Rounds, res.Messages, nil
 }
