@@ -12,18 +12,29 @@
 // -scale-shadow-n additionally runs both transports at that size and
 // fails unless the colorings match bit for bit.
 //
+// With -scale-procs the full-size run becomes a speedup sweep: one run
+// per listed core count (GOMAXPROCS and the engine worker pool are both
+// pinned), one record each, and the sweep fails unless every point
+// produces bit-for-bit identical colors, rounds and message counts.
+// -cpuprofile/-memprofile capture pprof profiles of any invocation.
+//
 // Usage:
 //
 //	colorbench [-n vertices] [-seed s] [-exp E07] [-json]
 //	colorbench -scale [-scale-n 1000000] [-scale-a 8] [-scale-p 4]
-//	           [-graph g.bin] [-scale-shadow-n 100000] [-json]
+//	           [-graph g.bin] [-scale-shadow-n 100000]
+//	           [-scale-procs 1,2,4,8] [-json]
+//	colorbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,10 +61,43 @@ func run() error {
 	graphPath := flag.String("graph", "", "scale run: prebuilt graph file (DCG1 binary or text edge list)")
 	shadowN := flag.Int("scale-shadow-n", 100_000, "scale run: also cross-check batch vs boxed transports at this size (0 disables)")
 	allocBudget := flag.Float64("scale-alloc-budget", 0, "scale run: fail if the full batch run exceeds this many heap allocations per vertex (0 disables)")
+	scaleProcs := flag.String("scale-procs", "", "scale run: comma-separated core counts (e.g. 1,2,4,8); one full run per count with GOMAXPROCS and the worker pool pinned, asserting identical results")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *scale {
-		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, *jsonOut)
+		procs, err := parseProcs(*scaleProcs)
+		if err != nil {
+			return err
+		}
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, *jsonOut)
 	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
@@ -108,19 +152,38 @@ func run() error {
 	return nil
 }
 
+// parseProcs parses the -scale-procs list ("1,2,4,8") into core counts.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-scale-procs: bad core count %q", part)
+		}
+		procs = append(procs, w)
+	}
+	return procs, nil
+}
+
 // runScale executes the scale experiment: an optional batch-vs-boxed
-// shadow pair at shadowN, then the full-size run on the batch transport.
-// All records go to the JSON-Lines stream (or a readable text line). A
-// nonzero allocBudget gates the full run's allocs/vertex - the CI
-// regression check for the typed word-I/O plumbing.
-func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, jsonOut bool) error {
+// shadow pair at shadowN, then the full-size run on the batch transport -
+// once with the auto worker heuristic, or (with -scale-procs) once per
+// listed core count with GOMAXPROCS and the engine worker pool pinned,
+// requiring bit-for-bit identical colorings and counters across the
+// sweep. All records go to the JSON-Lines stream (or a readable text
+// line). A nonzero allocBudget gates the full runs' allocs/vertex - the
+// CI regression check for the typed word-I/O plumbing.
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs []int, jsonOut bool) error {
 	var recs []experiments.Record
 	emit := func(res *experiments.ScaleResult) {
 		recs = append(recs, res.Record)
 		if !jsonOut {
 			r := res.Record
-			fmt.Printf("SCALE %-28s %-22s delivery=%-5s colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB allocs/vertex=%.2f ok=%v\n",
-				r.Workload, r.Params, r.Delivery, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.AllocsPerVertex, r.OK)
+			fmt.Printf("SCALE %-28s %-22s delivery=%-5s procs=%d workers=%d colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB allocs/vertex=%.2f ok=%v\n",
+				r.Workload, r.Params, r.Delivery, r.GoMaxProcs, r.Workers, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.AllocsPerVertex, r.OK)
 		}
 	}
 
@@ -154,13 +217,32 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 		}
 	}
 
-	full, err := experiments.ScaleRun(experiments.ScaleOptions{
-		N: n, Arboricity: a, P: p, Seed: seed, GraphPath: graphPath, Delivery: dist.DeliveryBatch,
-	})
-	if err != nil {
-		return err
+	// The full-size run(s): a speedup sweep over the requested core
+	// counts - the instance is prepared once, then each point pins
+	// GOMAXPROCS (so GC and runtime assist work scale with the point
+	// being measured) together with the engine worker pool and runs on
+	// a fresh session - or a single auto-paced run when no sweep was
+	// requested. ScaleSweep fails unless colors/rounds/messages are
+	// bit-for-bit identical across the points; its partial results are
+	// still emitted so the JSONL artifact keeps the diagnostics.
+	opt := experiments.ScaleOptions{
+		N: n, Arboricity: a, P: p, Seed: seed, GraphPath: graphPath,
+		Delivery: dist.DeliveryBatch,
 	}
-	emit(full)
+	var fulls []*experiments.ScaleResult
+	var sweepErr error
+	if len(procs) > 0 {
+		fulls, sweepErr = experiments.ScaleSweep(opt, procs)
+	} else {
+		full, err := experiments.ScaleRun(opt)
+		if err != nil {
+			return err
+		}
+		fulls = []*experiments.ScaleResult{full}
+	}
+	for _, full := range fulls {
+		emit(full)
+	}
 
 	// Write the records before applying any gate, so a failing run still
 	// leaves its diagnostics in the JSON-Lines artifact.
@@ -169,14 +251,19 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 			return err
 		}
 	}
+	if sweepErr != nil {
+		return sweepErr
+	}
 	for _, r := range recs {
 		if !r.OK {
 			return fmt.Errorf("scale run %s %s produced an illegal coloring: %s", r.Workload, r.Params, r.Note)
 		}
 	}
-	if allocBudget > 0 && full.Record.AllocsPerVertex > allocBudget {
-		return fmt.Errorf("scale run %s %s allocated %.2f allocs/vertex, over the %.2f budget",
-			full.Record.Workload, full.Record.Params, full.Record.AllocsPerVertex, allocBudget)
+	for _, full := range fulls {
+		if allocBudget > 0 && full.Record.AllocsPerVertex > allocBudget {
+			return fmt.Errorf("scale run %s %s (workers=%d) allocated %.2f allocs/vertex, over the %.2f budget",
+				full.Record.Workload, full.Record.Params, full.Record.Workers, full.Record.AllocsPerVertex, allocBudget)
+		}
 	}
 	return nil
 }

@@ -46,7 +46,7 @@ func Simple(net *dist.Network, sigma *graph.Orientation, k int, labels []int, ac
 	if err != nil {
 		return nil, err
 	}
-	s := orient.MeasureWithin(sigma, labels, active)
+	s := orient.MeasureWithinWorkers(sigma, labels, active, net.SweepWorkers(net.Graph().N()))
 	return &SimpleResult{
 		Colors:   wc.Colors,
 		Bound:    s.Deficit + s.OutDegree/k,

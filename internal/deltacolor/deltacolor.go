@@ -148,13 +148,17 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 
 	// Bottom-up merges: disjoint palettes per sibling class, then reduce
 	// within the parent class. merged and the reduction pool are reused
-	// across levels.
+	// across levels; the palette-merge sweep runs on the network's
+	// worker pool.
 	merged := make([]int, n)
+	workers := net.SweepWorkers(n)
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
-		for v := 0; v < n; v++ {
-			merged[v] = lv.classColor[v]*palette + colors[v]
-		}
+		dist.ParallelFor(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				merged[v] = lv.classColor[v]*palette + colors[v]
+			}
+		})
 		m := lv.numClasses * palette
 		target := lv.dBefore + 1
 		rounds, msgs, err := reduce.KWPooled(net, merged, m, target, lv.labels, active, &rpool, colors)

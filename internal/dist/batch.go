@@ -152,62 +152,24 @@ func (n *Node) SendAllWord(w int64) {
 	}
 }
 
-// initBatch sizes the columnar state of a batch run: slot bases over the
-// live set, the inSlots delivery table, and the two round-parity columns.
-func (s *simulation) initBatch(fw FixedWidthAlgorithm) error {
-	w := fw.MessageWords()
-	if w < 1 {
-		return fmt.Errorf("dist: fixed-width algorithm declares %d message words", w)
-	}
-	s.fw = fw
-	s.width = w
-	n := s.net.g.N()
-	s.base = make([]int, n)
-	next := 0
-	for _, v := range s.live {
-		s.nodes[v].width = w
-		s.base[v] = next
-		next += len(s.nodes[v].ports)
-	}
-	// The slot bases end exactly at the live set's visible directed edge
-	// count, which newSimulation already totalled.
-	total := s.totalPorts
-	const maxSlots = 1 << 31
-	if total >= maxSlots/w {
-		return fmt.Errorf("dist: batch transport needs %d word slots (max %d)", total, maxSlots/w)
-	}
-	// inSlots[v][p] = the slot neighbor u = ports[v][p] writes for v:
-	// u's base plus v's position in u's port list (the peer table).
-	s.inSlots = make([][]int32, n)
-	flat := make([]int32, total)
-	for _, v := range s.live {
-		deg := len(s.nodes[v].ports)
-		b := s.base[v]
-		slots := flat[b : b+deg : b+deg]
-		for p, u := range s.nodes[v].ports {
-			slots[p] = int32(s.base[u] + s.peer[v][p])
-		}
-		s.inSlots[v] = slots
-	}
-	for i := 0; i < 2; i++ {
-		s.wwords[i] = make([]int64, total*w)
-		s.wsent[i] = make([]uint8, total)
-	}
-	return nil
-}
-
-// stepSliceBatch is stepSlice on the batch transport.
+// stepSliceBatch is stepSlice on the batch transport. The slot bases and
+// the inSlots delivery table come from the session-cached topology
+// (session.go); the round-parity columns are the pooled, intentionally
+// non-zeroed arrays of the run scratch - every flag a WordInbox reads was
+// cleared this run by its owner's step (clear(nd.wmark) below) or by
+// flushHaltClears, so stale content from earlier runs is never observed.
 func (s *simulation) stepSliceBatch(r, lo, hi int) {
 	w := s.width
 	cur := r % 2
 	words := s.wwords[cur]
 	sent := s.wsent[cur]
+	base := s.topo.base
 	in := WordInbox{width: w, words: s.wwords[1-cur], sent: s.wsent[1-cur]}
 	for i := lo; i < hi; i++ {
 		v := s.live[i]
 		nd := s.nodes[v]
 		nd.round = r
-		b := s.base[v]
+		b := base[v]
 		deg := len(nd.ports)
 		nd.wout = words[b*w : (b+deg)*w : (b+deg)*w]
 		nd.wmark = sent[b : b+deg : b+deg]
@@ -216,7 +178,7 @@ func (s *simulation) stepSliceBatch(r, lo, hi int) {
 			s.fw.InitWords(nd)
 			continue
 		}
-		in.slots = s.inSlots[v]
+		in.slots = s.topo.slots(v)
 		s.fw.StepWords(nd, in)
 	}
 }
@@ -227,7 +189,7 @@ func (s *simulation) stepSliceBatch(r, lo, hi int) {
 // nothing else clears the stale flags its final rounds left behind.
 func (s *simulation) flushHaltClears() {
 	for _, v := range s.clearQ {
-		b := s.base[v]
+		b := s.topo.base[v]
 		deg := len(s.nodes[v].ports)
 		clear(s.wsent[0][b : b+deg])
 		clear(s.wsent[1][b : b+deg])

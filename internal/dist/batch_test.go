@@ -196,21 +196,18 @@ func TestBatchMatchesBoxedMultiWord(t *testing.T) {
 }
 
 func TestBatchParallelMatchesSequential(t *testing.T) {
-	run := func() *Result {
+	run := func(workers int) *Result {
 		rng := rand.New(rand.NewSource(530))
 		g := graph.ForestUnion(600, 4, rng)
 		net := NewNetworkPermuted(g, rng)
-		res, err := net.Run(wordGossip{rounds: 8}, RunOptions{Delivery: DeliveryBatch})
+		res, err := net.Run(wordGossip{rounds: 8}, RunOptions{Delivery: DeliveryBatch, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	defer func(old int) { parallelThreshold = old }(parallelThreshold)
-	parallelThreshold = 1 << 30 // force sequential
-	seq := run()
-	parallelThreshold = 1 // force the worker pool
-	par := run()
+	seq := run(1) // force sequential
+	par := run(4) // pin the worker pool (pinned counts always fan out)
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatal("batch worker-pool execution diverged from sequential execution")
 	}

@@ -5,9 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/graph"
 )
@@ -63,6 +60,16 @@ type RunOptions struct {
 	// with Inputs. The engine reads it during the Run only, but the
 	// vertex program may reuse its own slots as scratch.
 	InputWords []int64
+	// Workers paces the run's worker pool - the per-round step fan-out
+	// and the engine's setup/collection sweeps. Zero resolves to the
+	// Network default (WithWorkers), else to the auto heuristic:
+	// GOMAXPROCS workers whenever at least 512 participants remain, at
+	// least 64 nodes per goroutine. An explicitly pinned count (here or
+	// via WithWorkers) always fans out exactly that many workers, which
+	// is how tests force both engine paths and how benchmarks record a
+	// speedup curve. Results are bit-for-bit identical at every setting;
+	// only wall time changes. Negative counts are an error.
+	Workers int
 }
 
 // Result reports a completed run.
@@ -98,11 +105,13 @@ type Node struct {
 	total  int
 	round  int
 	ports  []int
-	// bufs are the double-buffered per-port outboxes; out aliases the
-	// buffer for the round currently executing. Both stay nil on the
-	// batch transport, which aliases wout/wmark into the engine's word
+	// bufs are the double-buffered per-port outboxes and inbox the
+	// delivery view of the boxed transport; out aliases the buffer for
+	// the round currently executing. All stay nil on the batch
+	// transport, which aliases wout/wmark into the engine's word
 	// columns instead (see batch.go).
 	bufs  [2][]Message
+	inbox []Message
 	out   []Message
 	width int
 	wout  []int64
@@ -164,16 +173,21 @@ func (n *Node) Halt() { n.halted = true }
 
 // Network binds a graph to an identifier assignment and runs vertex
 // programs over it. A Network is immutable and reusable: successive Run
-// calls are independent.
+// calls are independent, and repeated runs reuse the session's cached
+// topologies and pooled per-run state (session.go).
 type Network struct {
 	g   *graph.Graph
 	ids []int
 	// delivery is the transport preference RunOptions.Delivery == Auto
 	// resolves to (itself Auto by default); see WithDelivery.
 	delivery Delivery
-	// scratch pools the engine-owned word-I/O columns across runs. It is
-	// a pointer so WithDelivery views share the pool.
-	scratch *netScratch
+	// workers is the pool size RunOptions.Workers == 0 resolves to
+	// (0 = the auto heuristic); see WithWorkers.
+	workers int
+	// sess is the persistent per-network session: cached topologies and
+	// pooled per-run state. It is a pointer so WithDelivery/WithWorkers
+	// views share it.
+	sess *session
 }
 
 // NewNetwork returns a network with canonical identifiers id(v) = v+1.
@@ -182,7 +196,7 @@ func NewNetwork(g *graph.Graph) *Network {
 	for v := range ids {
 		ids[v] = v + 1
 	}
-	return &Network{g: g, ids: ids, scratch: &netScratch{}}
+	return &Network{g: g, ids: ids, sess: &session{}}
 }
 
 // NewNetworkPermuted returns a network whose identifiers {1..n} are
@@ -194,7 +208,28 @@ func NewNetworkPermuted(g *graph.Graph, rng *rand.Rand) *Network {
 	for v, p := range rng.Perm(g.N()) {
 		ids[v] = p + 1
 	}
-	return &Network{g: g, ids: ids, scratch: &netScratch{}}
+	return &Network{g: g, ids: ids, sess: &session{}}
+}
+
+// NewNetworkWithIDs returns a network with the given identifier
+// assignment (ids[v] in {1..n}, each exactly once) and a fresh session.
+// Harnesses use it to re-run the exact same instance - typically ids
+// captured from NewNetworkPermuted via IDs - on independent sessions,
+// e.g. one cold-cache network per point of a speedup sweep, without
+// replaying the rng stream that generated the graph.
+func NewNetworkWithIDs(g *graph.Graph, ids []int) (*Network, error) {
+	n := g.N()
+	if len(ids) != n {
+		return nil, fmt.Errorf("dist: %d identifiers for %d vertices", len(ids), n)
+	}
+	seen := make([]bool, n+1)
+	for v, id := range ids {
+		if id < 1 || id > n || seen[id] {
+			return nil, fmt.Errorf("dist: ids is not a permutation of 1..%d (ids[%d]=%d)", n, v, id)
+		}
+		seen[id] = true
+	}
+	return &Network{g: g, ids: append([]int(nil), ids...), sess: &session{}}, nil
 }
 
 // Graph returns the underlying graph.
@@ -203,25 +238,27 @@ func (net *Network) Graph() *graph.Graph { return net.g }
 // IDs returns a copy of the identifier assignment, indexed by vertex.
 func (net *Network) IDs() []int { return append([]int(nil), net.ids...) }
 
-// WithDelivery returns a view of the network sharing the graph and
-// identifier assignment whose Runs resolve RunOptions.Delivery ==
-// DeliveryAuto to the given transport preference. Pipelines that call Run
-// internally with default options inherit the preference, which is how
-// shadow tests and the scale harness force the []any fallback (or require
-// the batch path) across a whole multi-phase algorithm without threading
-// an option through every signature.
+// WithDelivery returns a view of the network sharing the graph,
+// identifier assignment and session whose Runs resolve
+// RunOptions.Delivery == DeliveryAuto to the given transport preference.
+// Pipelines that call Run internally with default options inherit the
+// preference, which is how shadow tests and the scale harness force the
+// []any fallback (or require the batch path) across a whole multi-phase
+// algorithm without threading an option through every signature.
 func (net *Network) WithDelivery(d Delivery) *Network {
 	c := *net
 	c.delivery = d
 	return &c
 }
 
-// parallelThreshold is the participant count above which rounds execute
-// on a worker pool; below it the per-round synchronization costs more
-// than it saves. Overridable in tests to force either path.
-var parallelThreshold = 512
+// autoParallelThreshold is the participant count above which the auto
+// worker heuristic fans a sweep out; below it the per-round
+// synchronization costs more than it saves. Explicitly pinned worker
+// counts (RunOptions.Workers / WithWorkers) bypass the threshold.
+const autoParallelThreshold = 512
 
-// minChunk is the smallest per-worker slice of nodes worth a goroutine.
+// minChunk is the smallest per-worker slice of nodes the auto heuristic
+// considers worth a goroutine.
 const minChunk = 64
 
 // Run executes the vertex program round-by-round until every active node
@@ -243,27 +280,16 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if opts.MaxRounds < 0 {
 		return nil, fmt.Errorf("dist: negative round budget %d", opts.MaxRounds)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("dist: negative worker count %d", opts.Workers)
+	}
 	batch, err := net.resolveDelivery(algo, opts)
 	if err != nil {
 		return nil, err
 	}
-	var wio WordIOAlgorithm
-	if batch {
-		wio, _ = algo.(WordIOAlgorithm)
-	}
-	if wio == nil && opts.InputWords != nil {
-		return nil, fmt.Errorf("dist: RunOptions.InputWords requires a WordIOAlgorithm on the batch transport, got %T (batch=%v)", algo, batch)
-	}
-	s := newSimulation(net, algo, opts, batch)
-	if batch {
-		if err := s.initBatch(algo.(FixedWidthAlgorithm)); err != nil {
-			return nil, err
-		}
-		if wio != nil {
-			if err := s.initWordIO(wio); err != nil {
-				return nil, err
-			}
-		}
+	s, err := newSimulation(net, algo, opts, batch)
+	if err != nil {
+		return nil, err
 	}
 	return s.run()
 }
@@ -292,124 +318,212 @@ func (net *Network) resolveDelivery(algo Algorithm, opts RunOptions) (bool, erro
 	}
 }
 
-// simulation is the per-Run state of the engine.
+// simulation is the per-Run state of the engine. It is pooled inside the
+// session's runScratch; newSimulation re-initializes every field.
 type simulation struct {
 	net  *Network
 	algo Algorithm
 	opts RunOptions
 
+	// topo is the cached immutable wiring (port lists, live set, slot
+	// bases, delivery table) shared with other runs; see session.go.
+	topo *topology
+	// rs is the borrowed per-run scratch bundle, released on completion.
+	rs *runScratch
+
 	nodes []*Node // indexed by vertex; nil for inactive vertices
-	inbox [][]Message
-	// peer[v][p] is the port index of v within the port list of the
-	// neighbor on v's port p, precomputed so delivery is O(1) per edge.
-	peer [][]int
 	// haltedAt[v] is the round at which v halted (math.MaxInt while
 	// running). It is written only between rounds, so workers may read
 	// neighbors' entries without synchronization.
 	haltedAt []int
-	live     []int
-	workers  int
+	// live is the mutable live list (collectHalted prunes it);
+	// liveSpare is the equal-capacity double buffer the parallel
+	// compaction writes into before the two swap.
+	live      []int
+	liveSpare []int
 
-	// totalPorts is the visible directed edge count of the live set.
-	totalPorts int
+	// workers/explicit are the resolved pool size and whether it was
+	// pinned (see resolveWorkers); sweepWorkers applies them per sweep.
+	workers  int
+	explicit bool
+
 	// failSlot is the per-run error slot Node.Fail records into.
 	failSlot runFailure
 
 	// Batch-transport state (see batch.go); fw is nil on the boxed path.
-	fw      FixedWidthAlgorithm
-	width   int
-	base    []int     // first columnar slot of each vertex
-	inSlots [][]int32 // per vertex, per port: the sending neighbor's slot
-	wwords  [2][]int64
-	wsent   [2][]uint8
-	clearQ  []int // nodes halted last round, flags pending a clear
+	fw     FixedWidthAlgorithm
+	width  int
+	wwords [2][]int64
+	wsent  [2][]uint8
+	clearQ []int // nodes halted last round, flags pending a clear
 
 	// Word-I/O state (see wordio.go); wio is nil outside word-I/O runs.
 	wio    WordIOAlgorithm
 	outCol []int64
 }
 
-func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) *simulation {
+// maxSlots bounds the columnar slot space of a batch run.
+const maxSlots = 1 << 31
+
+// newSimulation assembles a run: resolve the (cached) topology, validate
+// the algorithm's declared shape against it, borrow the pooled per-run
+// state and wire every live node in one parallel sweep.
+func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) (*simulation, error) {
 	n := net.g.N()
-	s := &simulation{
+	// The topology's delivery-slot table is int32: guard the whole-graph
+	// directed edge count (which bounds every filtered run's visible port
+	// count) BEFORE building anything, on both transports, so an
+	// oversized graph can never leave a wrapped table in the cache.
+	if 2*net.g.M() >= maxSlots {
+		return nil, fmt.Errorf("dist: graph has %d directed edges (max %d)", 2*net.g.M(), maxSlots-1)
+	}
+	workers, explicit := net.resolveWorkers(opts.Workers)
+	setupW := sweepWorkersFor(n, workers, explicit)
+	topo := net.sess.topology(net.g, opts.Labels, opts.Active, setupW)
+
+	var fw FixedWidthAlgorithm
+	var wio WordIOAlgorithm
+	width := 0
+	iw, ow := 0, 0
+	if batch {
+		fw = algo.(FixedWidthAlgorithm)
+		width = fw.MessageWords()
+		if width < 1 {
+			return nil, fmt.Errorf("dist: fixed-width algorithm declares %d message words", width)
+		}
+		if topo.totalPorts >= maxSlots/width {
+			return nil, fmt.Errorf("dist: batch transport needs %d word slots (max %d)", topo.totalPorts, maxSlots/width)
+		}
+		wio, _ = algo.(WordIOAlgorithm)
+	}
+	if wio == nil && opts.InputWords != nil {
+		return nil, fmt.Errorf("dist: RunOptions.InputWords requires a WordIOAlgorithm on the batch transport, got %T (batch=%v)", algo, batch)
+	}
+	inCol := opts.InputWords
+	outLen := 0
+	if wio != nil {
+		iw, ow = wio.InputWidth(), wio.OutputWidth()
+		if iw < PerPort || ow < PerPort {
+			return nil, fmt.Errorf("dist: word-I/O algorithm declares widths (%d, %d)", iw, ow)
+		}
+		if opts.Inputs != nil {
+			return nil, fmt.Errorf("dist: word-I/O algorithm %T takes RunOptions.InputWords, not Inputs", wio)
+		}
+		want := 0
+		switch iw {
+		case PerPort:
+			want = topo.totalPorts
+		default:
+			want = n * iw
+		}
+		if len(inCol) != want {
+			return nil, fmt.Errorf("dist: %d input words for width %d (want %d)", len(inCol), iw, want)
+		}
+		if inCol == nil {
+			inCol = emptyWords
+		}
+		switch ow {
+		case PerPort:
+			outLen = topo.totalPorts
+		default:
+			outLen = n * ow
+		}
+	}
+
+	rs := net.sess.borrowRun()
+	s := &rs.sim
+	*s = simulation{
 		net:      net,
 		algo:     algo,
 		opts:     opts,
-		nodes:    make([]*Node, n),
-		peer:     make([][]int, n),
-		haltedAt: make([]int, n),
+		topo:     topo,
+		rs:       rs,
+		workers:  workers,
+		explicit: explicit,
+		fw:       fw,
+		width:    width,
+		wio:      wio,
 	}
-	if !batch {
-		s.inbox = make([][]Message, n)
+	rs.nodes = grown(rs.nodes, n)
+	rs.arr = grown(rs.arr, n)
+	rs.haltedAt = grown(rs.haltedAt, n)
+	rs.live = grown(rs.live, len(topo.live))
+	rs.liveSpare = grown(rs.liveSpare, len(topo.live))
+	s.nodes, s.haltedAt = rs.nodes, rs.haltedAt
+	s.live, s.liveSpare = rs.live, rs.liveSpare
+	copy(s.live, topo.live)
+	if batch {
+		// The pooled message columns are NOT zeroed between runs: a
+		// WordInbox only reads slots whose sent flag is set, and every
+		// flag read at round r belongs to a sender that either stepped
+		// round r-1 (clearing its flags at step start) or halted earlier
+		// and had them flushed (flushHaltClears) - so stale content from
+		// a previous run, even one with a different topology, is never
+		// observed.
+		for i := 0; i < 2; i++ {
+			rs.wwords[i] = grown(rs.wwords[i], topo.totalPorts*width)
+			rs.wsent[i] = grown(rs.wsent[i], topo.totalPorts)
+			s.wwords[i], s.wsent[i] = rs.wwords[i], rs.wsent[i]
+		}
+		s.clearQ = rs.clearQ[:0]
 	}
-	// Port lists live in one flat backing array: under label/active
-	// filters the old per-vertex VisiblePorts allocation was one malloc
-	// per vertex per run, which dominated filtered pipeline phases.
-	filtered := opts.Labels != nil || opts.Active != nil
-	totalPorts := 0
-	if filtered {
-		for v := 0; v < n; v++ {
-			if opts.Active != nil && !opts.Active[v] {
+	if wio != nil && ow != 0 {
+		s.outCol = net.sess.borrowOut(outLen, setupW)
+	}
+
+	// One parallel sweep wires every vertex: node reset, input binding,
+	// boxed buffers, and the word-I/O column views.
+	inputs := opts.Inputs
+	parfor(n, setupW, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ports := topo.ports[v]
+			if ports == nil { // inactive under the Active mask
+				s.nodes[v] = nil
+				s.haltedAt[v] = math.MaxInt
 				continue
 			}
-			totalPorts += countVisible(net.g, opts.Labels, opts.Active, v)
+			nd := &rs.arr[v]
+			// Recycle the boxed buffers across runs; stale contents are
+			// never read (delivery is guarded by haltedAt / sent flags).
+			b0, b1, ibx := nd.bufs[0], nd.bufs[1], nd.inbox
+			*nd = Node{id: net.ids[v], vertex: v, total: n, ports: ports, fail: &s.failSlot, width: width}
+			if inputs != nil {
+				nd.Input = inputs[v]
+			}
+			if !batch {
+				nd.bufs[0] = grown(b0, len(ports))
+				nd.bufs[1] = grown(b1, len(ports))
+				nd.inbox = grown(ibx, len(ports))
+			}
+			if wio != nil {
+				wireWordIO(nd, s, iw, ow, inCol, v)
+			}
+			s.haltedAt[v] = math.MaxInt
+			s.nodes[v] = nd
 		}
+	})
+	return s, nil
+}
+
+// close releases the pooled per-run state: the word output column goes
+// back to the session (the NEXT word-I/O run's borrow reclaims it, which
+// is why Result.OutputWords may alias it until then) and the scratch
+// bundle becomes available to the next run.
+func (s *simulation) close() {
+	if s.wio != nil {
+		s.net.sess.publishOut(s.outCol)
 	}
-	portsFlat := make([]int, totalPorts)
-	arr := make([]Node, n)
-	totalPorts = 0
-	for v := 0; v < n; v++ {
-		s.haltedAt[v] = math.MaxInt
-		if opts.Active != nil && !opts.Active[v] {
-			continue
-		}
-		var ports []int
-		if filtered {
-			ports = appendVisible(portsFlat[totalPorts:totalPorts:len(portsFlat)], net.g, opts.Labels, opts.Active, v)
-		} else {
-			ports = net.g.Neighbors(v)
-		}
-		nd := &arr[v]
-		nd.id, nd.vertex, nd.total, nd.ports = net.ids[v], v, n, ports
-		nd.fail = &s.failSlot
-		if !batch {
-			nd.bufs[0] = make([]Message, len(ports))
-			nd.bufs[1] = make([]Message, len(ports))
-			s.inbox[v] = make([]Message, len(ports))
-		}
-		if opts.Inputs != nil {
-			nd.Input = opts.Inputs[v]
-		}
-		s.nodes[v] = nd
-		s.live = append(s.live, v)
-		totalPorts += len(ports)
+	// Slices the run grew in place flow back into the scratch so their
+	// capacity survives into the next run. clearQ is batch-only state:
+	// boxed runs leave the pooled queue (and its capacity) untouched.
+	if s.fw != nil {
+		s.rs.clearQ = s.clearQ[:0]
 	}
-	s.totalPorts = totalPorts
-	// peer[v][p]: v's position in ports of u = ports[v][p]. Visibility is
-	// symmetric, so v always appears in its visible neighbors' port lists.
-	peerFlat := make([]int, totalPorts)
-	for _, v := range s.live {
-		ports := s.nodes[v].ports
-		peers := peerFlat[:len(ports):len(ports)]
-		peerFlat = peerFlat[len(ports):]
-		for p, u := range ports {
-			peers[p] = sort.SearchInts(s.nodes[u].ports, v)
-		}
-		s.peer[v] = peers
-	}
-	s.workers = 1
-	if w := runtime.GOMAXPROCS(0); w > 1 && len(s.live) >= parallelThreshold {
-		s.workers = w // stepRound caps the fan-out per round by minChunk
-	}
-	return s
+	s.net.sess.releaseRun(s.rs)
 }
 
 func (s *simulation) run() (*Result, error) {
-	if s.wio != nil {
-		// Reclaimed by the next run's borrow; on error returns the column
-		// simply goes back to the pool unread.
-		defer s.net.scratch.publish(s.outCol)
-	}
+	defer s.close()
 	s.stepRound(0)
 	s.collectHalted(0)
 	if err := s.failSlot.take(); err != nil {
@@ -436,53 +550,71 @@ func (s *simulation) run() (*Result, error) {
 			return nil, err
 		}
 	}
-	// Word-I/O runs report through the output column; boxing n outputs
-	// into []any is exactly what the typed plane exists to avoid.
+	outs, msgs := s.collectResults()
+	return &Result{Outputs: outs, OutputWords: s.outCol, Rounds: rounds, Messages: msgs}, nil
+}
+
+// collectResults gathers the boxed outputs and the message total in one
+// parallel sweep (per-chunk partial sums, deterministically reduced).
+// Word-I/O runs report through the output column; boxing n outputs into
+// []any is exactly what the typed plane exists to avoid.
+func (s *simulation) collectResults() ([]any, int64) {
+	n := s.net.g.N()
 	var outs []any
 	if s.wio == nil {
-		outs = make([]any, s.net.g.N())
+		outs = make([]any, n)
 	}
-	var msgs int64
-	for v, nd := range s.nodes {
-		if nd != nil {
-			if outs != nil {
-				outs[v] = nd.Output
+	w := s.sweepWorkers(n)
+	if w <= 1 {
+		var msgs int64
+		for v := 0; v < n; v++ {
+			if nd := s.nodes[v]; nd != nil {
+				if outs != nil {
+					outs[v] = nd.Output
+				}
+				msgs += nd.sent
 			}
-			msgs += nd.sent
 		}
+		return outs, msgs
 	}
-	return &Result{Outputs: outs, OutputWords: s.outCol, Rounds: rounds, Messages: msgs}, nil
+	s.rs.sums = grown(s.rs.sums, w)
+	sums := s.rs.sums
+	chunk := (n + w - 1) / w
+	parfor(n, w, func(lo, hi int) {
+		var msgs int64
+		for v := lo; v < hi; v++ {
+			if nd := s.nodes[v]; nd != nil {
+				if outs != nil {
+					outs[v] = nd.Output
+				}
+				msgs += nd.sent
+			}
+		}
+		sums[lo/chunk] = msgs
+	})
+	var msgs int64
+	for _, m := range sums[:(n+chunk-1)/chunk] {
+		msgs += m
+	}
+	return outs, msgs
 }
 
 // stepRound executes round r (round 0 = Init) on every live node. Nodes
 // touch only their own state, and message delivery reads the previous
 // round's buffers and between-round haltedAt marks, so the live set can
-// be split across workers without changing results.
+// be split across workers without changing results. Long-tail rounds of
+// wave-style programs leave only a few live nodes; the auto heuristic
+// then steps inline, where the fan-out would cost more than it saves.
 func (s *simulation) stepRound(r int) {
-	// Long-tail rounds of wave-style programs leave only a few live
-	// nodes; below the threshold the fan-out costs more than the steps.
-	if s.workers <= 1 || len(s.live) < parallelThreshold {
-		s.stepSlice(r, 0, len(s.live))
+	m := len(s.live)
+	w := s.sweepWorkers(m)
+	if w <= 1 {
+		s.stepSlice(r, 0, m)
 		return
 	}
-	workers := s.workers
-	if max := (len(s.live) + minChunk - 1) / minChunk; workers > max {
-		workers = max
-	}
-	var wg sync.WaitGroup
-	chunk := (len(s.live) + workers - 1) / workers
-	for lo := 0; lo < len(s.live); lo += chunk {
-		hi := lo + chunk
-		if hi > len(s.live) {
-			hi = len(s.live)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s.stepSlice(r, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parfor(m, w, func(lo, hi int) {
+		s.stepSlice(r, lo, hi)
+	})
 }
 
 func (s *simulation) stepSlice(r, lo, hi int) {
@@ -490,6 +622,8 @@ func (s *simulation) stepSlice(r, lo, hi int) {
 		s.stepSliceBatch(r, lo, hi)
 		return
 	}
+	base := s.topo.base
+	inSlots := s.topo.inSlots
 	for i := lo; i < hi; i++ {
 		v := s.live[i]
 		nd := s.nodes[v]
@@ -502,13 +636,15 @@ func (s *simulation) stepSlice(r, lo, hi int) {
 			s.algo.Init(nd)
 			continue
 		}
-		in := s.inbox[v]
+		in := nd.inbox
 		prev := (r - 1) % 2
+		b := base[v]
 		for p, u := range nd.ports {
 			// The neighbor's previous-round buffer is live exactly when
-			// it stepped that round, i.e. halted no earlier.
+			// it stepped that round, i.e. halted no earlier. Its port
+			// back to us is its delivery slot minus its slot base.
 			if s.haltedAt[u] >= r-1 {
-				in[p] = s.nodes[u].bufs[prev][s.peer[v][p]]
+				in[p] = s.nodes[u].bufs[prev][int(inSlots[b+p])-base[u]]
 			} else {
 				in[p] = nil
 			}
@@ -519,17 +655,82 @@ func (s *simulation) stepSlice(r, lo, hi int) {
 
 // collectHalted prunes nodes that halted during round r from the live
 // set, preserving order so later rounds process nodes deterministically.
+// Large live sets compact in parallel: per-chunk counts, a serial prefix
+// sum, then an order-preserving parallel copy into the spare buffer.
 func (s *simulation) collectHalted(r int) {
-	kept := s.live[:0]
-	for _, v := range s.live {
-		if s.nodes[v].halted {
-			s.haltedAt[v] = r
-			if s.fw != nil {
-				s.clearQ = append(s.clearQ, v)
+	m := len(s.live)
+	w := s.sweepWorkers(m)
+	if w <= 1 {
+		kept := s.live[:0]
+		for _, v := range s.live {
+			if s.nodes[v].halted {
+				s.haltedAt[v] = r
+				if s.fw != nil {
+					s.clearQ = append(s.clearQ, v)
+				}
+			} else {
+				kept = append(kept, v)
 			}
-		} else {
-			kept = append(kept, v)
 		}
+		s.live = kept
+		return
 	}
-	s.live = kept
+	s.rs.counts = grown(s.rs.counts, w)
+	s.rs.starts = grown(s.rs.starts, w+1)
+	counts, starts := s.rs.counts, s.rs.starts
+	chunk := (m + w - 1) / w
+	chunks := (m + chunk - 1) / chunk
+	parfor(m, w, func(lo, hi int) {
+		kept := 0
+		for i := lo; i < hi; i++ {
+			v := s.live[i]
+			if s.nodes[v].halted {
+				s.haltedAt[v] = r
+			} else {
+				kept++
+			}
+		}
+		counts[lo/chunk] = kept
+	})
+	keptTotal := 0
+	for c := 0; c < chunks; c++ {
+		starts[c] = keptTotal
+		keptTotal += counts[c]
+	}
+	starts[chunks] = keptTotal
+	clearBase := len(s.clearQ)
+	if s.fw != nil {
+		s.clearQ = grownKeep(s.clearQ, clearBase+(m-keptTotal))
+	}
+	dst := s.liveSpare
+	parfor(m, w, func(lo, hi int) {
+		c := lo / chunk
+		ko := starts[c]
+		// Halted nodes of chunk c land after the halted nodes of earlier
+		// chunks: chunk c dropped (lo - starts[c]) of its predecessors'
+		// entries... i.e. lo-starts[c] halted so far before this chunk.
+		ho := clearBase + (lo - starts[c])
+		for i := lo; i < hi; i++ {
+			v := s.live[i]
+			if s.nodes[v].halted {
+				if s.fw != nil {
+					s.clearQ[ho] = v
+					ho++
+				}
+			} else {
+				dst[ko] = v
+				ko++
+			}
+		}
+	})
+	// Swap the buffers: the pruned list becomes live, the old backing
+	// becomes the next compaction's destination.
+	s.live, s.liveSpare = dst[:keptTotal], s.live[:cap(s.live)]
+}
+
+// sweepWorkersFor is sweepWorkers for code running before the simulation
+// exists (topology builds, the setup sweep).
+func sweepWorkersFor(m, workers int, explicit bool) int {
+	s := simulation{workers: workers, explicit: explicit}
+	return s.sweepWorkers(m)
 }

@@ -109,12 +109,12 @@ func (g gossip) Step(n *Node, inbox []Message) {
 	n.SendAll(acc % 1000003)
 }
 
-func runGossip(t *testing.T, seed int64) *Result {
+func runGossip(t *testing.T, seed int64, workers int) *Result {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.ForestUnion(600, 4, rng)
 	net := NewNetworkPermuted(g, rng)
-	res, err := net.Run(gossip{rounds: 8}, RunOptions{})
+	res, err := net.Run(gossip{rounds: 8}, RunOptions{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,23 +122,20 @@ func runGossip(t *testing.T, seed int64) *Result {
 }
 
 func TestDeterministicForIdenticalSeeds(t *testing.T) {
-	a := runGossip(t, 42)
-	b := runGossip(t, 42)
+	a := runGossip(t, 42, 0)
+	b := runGossip(t, 42, 0)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("identical seeds produced different results")
 	}
-	c := runGossip(t, 43)
+	c := runGossip(t, 43, 0)
 	if reflect.DeepEqual(a.Outputs, c.Outputs) {
 		t.Fatal("different seeds produced identical outputs (permutation ignored?)")
 	}
 }
 
 func TestParallelMatchesSequential(t *testing.T) {
-	defer func(old int) { parallelThreshold = old }(parallelThreshold)
-	parallelThreshold = 1 << 30 // force sequential
-	seq := runGossip(t, 7)
-	parallelThreshold = 1 // force the worker pool
-	par := runGossip(t, 7)
+	seq := runGossip(t, 7, 1) // force sequential
+	par := runGossip(t, 7, 4) // pin the worker pool (pinned counts always fan out)
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatal("worker-pool execution diverged from sequential execution")
 	}

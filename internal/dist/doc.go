@@ -38,4 +38,36 @@
 // deterministic per-run error instead of smuggling errors through
 // Node.Output. Shadow tests pin the two planes bit-for-bit equal at the
 // engine, phase, pipeline and scale-harness levels.
+//
+// # Sessions and parallelism
+//
+// A Network owns a persistent session (session.go) living as long as the
+// Network itself and shared by all WithDelivery/WithWorkers views of it:
+//
+//   - Topology caches. The simulation wiring that depends only on the
+//     (graph, Labels, Active) triple - visible port lists, live set,
+//     columnar slot bases, the delivery-slot table - is built once, in
+//     parallel, and reused by every later run with the same filters.
+//     The unfiltered topology (including filters equivalent to none:
+//     uniform labels, all-true active) is cached unconditionally;
+//     filtered topologies live in a small content-keyed LRU, sized for
+//     orchestrators that revisit one filter a few runs apart. Cached
+//     tables are immutable and engine-owned; callers never see them.
+//   - Run scratch. The mutable per-run state (node array, halt marks,
+//     live list, message columns, the word output column) is pooled:
+//     a repeated unfiltered word-I/O run performs no setup allocations
+//     at all (a regression test pins this). Concurrent runs on one
+//     network are safe - whoever finds the pool busy falls back to
+//     fresh allocations - but the Result.OutputWords reclamation
+//     contract (wordio.go) still requires the caller to decode a word
+//     column before STARTING the next word run on that network.
+//
+// Rounds, engine setup/collection sweeps, and the orchestrator helpers
+// (Network.PortColumn, ParallelFor) fan out over a worker pool paced by
+// RunOptions.Workers / Network.WithWorkers: 0 means the auto heuristic
+// (GOMAXPROCS, gated by participant count), an explicit count always
+// fans out exactly that wide. Nodes touch only their own state and
+// delivery reads only previous-round data, so results are bit-for-bit
+// identical at every worker count - the speedup sweeps in CI assert
+// exactly that.
 package dist

@@ -190,114 +190,44 @@ func (net *Network) RunWords(algo WordIOAlgorithm, opts RunOptions) (*Result, er
 	return net.Run(algo, opts)
 }
 
-// initWordIO validates the widths and column lengths of a word-I/O run
-// and wires the per-node views. It runs after initBatch, which computed
-// the per-port slot bases; s.totalPorts is the visible directed edge
-// count of the live set.
-func (s *simulation) initWordIO(wio WordIOAlgorithm) error {
-	totalPorts := s.totalPorts
-	iw, ow := wio.InputWidth(), wio.OutputWidth()
-	if iw < PerPort || ow < PerPort {
-		return fmt.Errorf("dist: word-I/O algorithm declares widths (%d, %d)", iw, ow)
-	}
-	if s.opts.Inputs != nil {
-		return fmt.Errorf("dist: word-I/O algorithm %T takes RunOptions.InputWords, not Inputs", wio)
-	}
-	s.wio = wio
-	n := s.net.g.N()
-	want := 0
+// wireWordIO binds one live node's input/output column views. The widths
+// and column lengths were validated by newSimulation, which calls this
+// from the parallel setup sweep; the slot base comes from the cached
+// topology.
+func wireWordIO(nd *Node, s *simulation, iw, ow int, inCol []int64, v int) {
+	deg := len(nd.ports)
 	switch iw {
+	case 0:
+		// no input plane
 	case PerPort:
-		want = totalPorts
+		if deg == 0 {
+			// A canonical non-nil empty view: degree-0 vertices have
+			// no slots, but InputWords must still work for them.
+			nd.win = emptyWords
+		} else {
+			b := s.topo.base[v]
+			nd.win = inCol[b : b+deg : b+deg]
+		}
 	default:
-		want = n * iw
+		o := v * iw
+		nd.win = inCol[o : o+iw : o+iw]
 	}
-	if len(s.opts.InputWords) != want {
-		return fmt.Errorf("dist: %d input words for width %d (want %d)", len(s.opts.InputWords), iw, want)
-	}
-	inCol := s.opts.InputWords
-	if inCol == nil {
-		inCol = emptyWords
-	}
-	outLen := 0
 	switch ow {
+	case 0:
+		// no output plane
 	case PerPort:
-		outLen = totalPorts
+		if deg == 0 {
+			nd.wob = emptyWords
+		} else {
+			b := s.topo.base[v]
+			nd.wob = s.outCol[b : b+deg : b+deg]
+		}
 	default:
-		outLen = n * ow
+		o := v * ow
+		nd.wob = s.outCol[o : o+ow : o+ow]
 	}
-	outCol := s.net.scratch.borrow(outLen)
-	s.outCol = outCol
-	for _, v := range s.live {
-		nd := s.nodes[v]
-		deg := len(nd.ports)
-		switch iw {
-		case 0:
-			// no input plane
-		case PerPort:
-			if deg == 0 {
-				// A canonical non-nil empty view: degree-0 vertices have
-				// no slots, but InputWords must still work for them.
-				nd.win = emptyWords
-			} else {
-				b := s.base[v]
-				nd.win = inCol[b : b+deg : b+deg]
-			}
-		default:
-			o := v * iw
-			nd.win = inCol[o : o+iw : o+iw]
-		}
-		switch ow {
-		case 0:
-			// no output plane
-		case PerPort:
-			if deg == 0 {
-				nd.wob = emptyWords
-			} else {
-				b := s.base[v]
-				nd.wob = outCol[b : b+deg : b+deg]
-			}
-		default:
-			o := v * ow
-			nd.wob = outCol[o : o+ow : o+ow]
-		}
-	}
-	return nil
 }
 
 // emptyWords is the shared non-nil zero-length column view of degree-0
 // vertices under PerPort widths (and of empty input columns).
 var emptyWords = make([]int64, 0)
-
-// netScratch holds the engine-owned, network-pooled word columns. One
-// run borrows the column at start and re-publishes it at completion
-// (through Result.OutputWords), so the NEXT run's borrow is what
-// reclaims it; concurrent runs simply fall back to fresh allocations.
-type netScratch struct {
-	mu  sync.Mutex
-	out []int64
-}
-
-// borrow returns a zeroed column of the given length, reusing the
-// pooled backing array when it is large enough.
-func (sc *netScratch) borrow(n int) []int64 {
-	sc.mu.Lock()
-	col := sc.out
-	sc.out = nil
-	sc.mu.Unlock()
-	if cap(col) < n {
-		return make([]int64, n)
-	}
-	col = col[:n]
-	clear(col)
-	return col
-}
-
-// publish stores the column back as the pooled backing array.
-func (sc *netScratch) publish(col []int64) {
-	sc.mu.Lock()
-	if cap(col) > cap(sc.out) {
-		sc.out = col
-	}
-	sc.mu.Unlock()
-}

@@ -363,20 +363,16 @@ func TestFailReportsSmallestVertexDeterministically(t *testing.T) {
 
 	want := ""
 	for _, d := range []Delivery{DeliveryBoxed, DeliveryBatch} {
-		for _, threshold := range []int{1, 1 << 30} { // worker pool and sequential
-			func() {
-				defer func(old int) { parallelThreshold = old }(parallelThreshold)
-				parallelThreshold = threshold
-				_, err := net.Run(failAt{div: 7}, RunOptions{Delivery: d})
-				if !errors.Is(err, errFailAt) {
-					t.Fatalf("delivery=%v threshold=%d: got %v, want errFailAt", d, threshold, err)
-				}
-				if want == "" {
-					want = err.Error()
-				} else if err.Error() != want {
-					t.Fatalf("nondeterministic failure report:\n%q\n%q", err.Error(), want)
-				}
-			}()
+		for _, workers := range []int{4, 1} { // pinned worker pool and sequential
+			_, err := net.Run(failAt{div: 7}, RunOptions{Delivery: d, Workers: workers})
+			if !errors.Is(err, errFailAt) {
+				t.Fatalf("delivery=%v workers=%d: got %v, want errFailAt", d, workers, err)
+			}
+			if want == "" {
+				want = err.Error()
+			} else if err.Error() != want {
+				t.Fatalf("nondeterministic failure report:\n%q\n%q", err.Error(), want)
+			}
 		}
 	}
 	if !strings.Contains(want, "vertex ") {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is false outside race-detector builds; see the race-tagged
+// twin for why allocation assertions care.
+const raceEnabled = false

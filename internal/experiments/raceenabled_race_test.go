@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose runtime deliberately drops sync.Pool puts - putting an
+// allocation floor under the pooled word-plane scratch that has nothing
+// to do with per-vertex boxing. Allocation-ratio assertions switch to
+// absolute budgets when it is set.
+const raceEnabled = true

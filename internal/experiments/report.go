@@ -59,6 +59,14 @@ type Record struct {
 	Mallocs         uint64  `json:"mallocs,omitempty"`
 	AllocMB         float64 `json:"alloc_mb,omitempty"`
 	AllocsPerVertex float64 `json:"allocs_per_vertex,omitempty"`
+	// GoMaxProcs and Workers pin the parallelism of a scale-run record:
+	// the process's GOMAXPROCS at run time and the engine worker count
+	// the run resolved to (RunOptions.Workers / Network.WithWorkers).
+	// Together with WallMS they are the speedup curve the nightly
+	// -scale-procs sweep archives; colors/rounds/messages must be
+	// bit-for-bit identical at every point.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	Workers    int `json:"workers,omitempty"`
 }
 
 // NewRecord converts a row into its machine-readable form.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +44,12 @@ type ScaleOptions struct {
 	// Delivery selects the transport; DeliveryAuto is recorded (and
 	// enforced) as DeliveryBatch.
 	Delivery dist.Delivery
+	// Workers pins the engine worker count for every phase of the run
+	// (dist.Network.WithWorkers); 0 keeps the auto heuristic. The
+	// coloring is bit-for-bit identical at every setting - the knob only
+	// paces the worker pool, which is what the -scale-procs speedup
+	// sweep measures.
+	Workers int
 }
 
 func (o *ScaleOptions) normalize() {
@@ -80,7 +87,62 @@ func ScaleRun(opt ScaleOptions) (*ScaleResult, error) {
 		return nil, err
 	}
 	net := dist.NewNetworkPermuted(g, rng).WithDelivery(opt.Delivery)
+	if opt.Workers > 0 {
+		net = net.WithWorkers(opt.Workers)
+	}
+	return scaleMeasure(net, g, source, opt)
+}
 
+// ScaleSweep is the speedup-curve harness: it prepares the instance ONCE
+// (generation, binary round trip, identifier permutation - so every
+// point colors the exact same network a plain ScaleRun with the same
+// options would), then measures one coloring run per worker count with
+// GOMAXPROCS and the engine worker pool pinned together and a fresh,
+// cold session per point. It fails unless colors, rounds and message
+// counts are bit-for-bit identical at every point; on error the results
+// measured so far are still returned so harnesses can archive them.
+func ScaleSweep(opt ScaleOptions, workers []int) ([]*ScaleResult, error) {
+	opt.normalize()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g, source, err := scaleGraph(opt, rng)
+	if err != nil {
+		return nil, err
+	}
+	ids := dist.NewNetworkPermuted(g, rng).IDs()
+	var results []*ScaleResult
+	for _, w := range workers {
+		if w < 1 {
+			return results, fmt.Errorf("experiments: scale sweep worker count %d < 1", w)
+		}
+		net, err := dist.NewNetworkWithIDs(g, ids)
+		if err != nil {
+			return results, err
+		}
+		o := opt
+		o.Workers = w
+		prev := runtime.GOMAXPROCS(w)
+		res, err := scaleMeasure(net.WithDelivery(o.Delivery).WithWorkers(w), g, source, o)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return results, fmt.Errorf("experiments: scale sweep (workers=%d): %w", w, err)
+		}
+		results = append(results, res)
+		first := results[0]
+		if !slices.Equal(res.Colors, first.Colors) ||
+			res.Record.Rounds != first.Record.Rounds ||
+			res.Record.Messages != first.Record.Messages {
+			return results, fmt.Errorf(
+				"experiments: scale sweep: workers=%d diverges from workers=%d (colors/rounds/messages %d/%d/%d vs %d/%d/%d)",
+				res.Record.Workers, first.Record.Workers,
+				res.Record.Colors, res.Record.Rounds, res.Record.Messages,
+				first.Record.Colors, first.Record.Rounds, first.Record.Messages)
+		}
+	}
+	return results, nil
+}
+
+// scaleMeasure runs the measured coloring section on a prepared network.
+func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOptions) (*ScaleResult, error) {
 	// Allocation accounting brackets only the coloring run: graph
 	// generation and I/O are measured by their own benchmarks.
 	runtime.GC()
@@ -95,22 +157,28 @@ func ScaleRun(opt ScaleOptions) (*ScaleResult, error) {
 	runtime.ReadMemStats(&after)
 
 	legalErr := g.CheckLegalColoring(res.Colors)
+	workers := opt.Workers
+	if workers == 0 {
+		workers = net.Workers() // the resolved auto default
+	}
 	rec := Record{
-		Exp:      "SCALE",
-		Workload: fmt.Sprintf("%s n=%d m=%d", source, g.N(), g.M()),
-		Params:   fmt.Sprintf("a=%d p=%d", opt.Arboricity, opt.P),
-		Colors:   graph.NumColors(res.Colors),
-		Rounds:   res.Tally.Rounds(),
-		Messages: res.Tally.Messages(),
-		Measured: float64(res.Palette),
-		Metric:   "palette",
-		OK:       legalErr == nil,
-		WallMS:   float64(wall.Microseconds()) / 1000.0,
-		N:        g.N(),
-		Seed:     opt.Seed,
-		Delivery: opt.Delivery.String(),
-		Mallocs:  after.Mallocs - before.Mallocs,
-		AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		Exp:        "SCALE",
+		Workload:   fmt.Sprintf("%s n=%d m=%d", source, g.N(), g.M()),
+		Params:     fmt.Sprintf("a=%d p=%d", opt.Arboricity, opt.P),
+		Colors:     graph.NumColors(res.Colors),
+		Rounds:     res.Tally.Rounds(),
+		Messages:   res.Tally.Messages(),
+		Measured:   float64(res.Palette),
+		Metric:     "palette",
+		OK:         legalErr == nil,
+		WallMS:     float64(wall.Microseconds()) / 1000.0,
+		N:          g.N(),
+		Seed:       opt.Seed,
+		Delivery:   opt.Delivery.String(),
+		Mallocs:    after.Mallocs - before.Mallocs,
+		AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
 	}
 	rec.AllocsPerVertex = float64(rec.Mallocs) / float64(g.N())
 	if legalErr != nil {

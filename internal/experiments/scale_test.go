@@ -103,9 +103,86 @@ func TestScaleRunShadow(t *testing.T) {
 	if batch.Record.AllocsPerVertex <= 0 || boxed.Record.AllocsPerVertex <= 0 {
 		t.Error("scale records missing allocs_per_vertex")
 	}
-	if batch.Record.AllocsPerVertex*10 > boxed.Record.AllocsPerVertex {
-		t.Errorf("typed plane allocates %.2f allocs/vertex vs boxed %.2f - word I/O regressed",
-			batch.Record.AllocsPerVertex, boxed.Record.AllocsPerVertex)
+	budget := boxed.Record.AllocsPerVertex / 10
+	if raceEnabled {
+		// The race runtime deliberately drops sync.Pool puts, so the
+		// pooled per-step scratch of the word plane re-allocates a few
+		// times per vertex regardless of boxing; bound it absolutely.
+		budget = 10
+	}
+	if batch.Record.AllocsPerVertex > budget {
+		t.Errorf("typed plane allocates %.2f allocs/vertex (budget %.2f, boxed %.2f) - word I/O regressed",
+			batch.Record.AllocsPerVertex, budget, boxed.Record.AllocsPerVertex)
+	}
+}
+
+// TestScaleRunWorkerCountsAgree pins the determinism contract of the
+// worker knob: the same scale instance run sequentially, with a pinned
+// 4-worker pool, and with the auto heuristic must produce bit-for-bit
+// identical colorings and counters - the property the -scale-procs
+// speedup sweep relies on to make its curve comparable point to point.
+func TestScaleRunWorkerCountsAgree(t *testing.T) {
+	base := ScaleOptions{N: 3000, Arboricity: 6, P: 4, Seed: 11, Dir: t.TempDir()}
+	var first *ScaleResult
+	for _, w := range []int{1, 4, 0} {
+		opt := base
+		opt.Workers = w
+		res, err := ScaleRun(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Record.OK {
+			t.Fatalf("workers=%d: illegal coloring: %s", w, res.Record.Note)
+		}
+		if w > 0 && res.Record.Workers != w {
+			t.Errorf("workers=%d recorded as %d", w, res.Record.Workers)
+		}
+		if res.Record.GoMaxProcs < 1 {
+			t.Errorf("workers=%d: gomaxprocs %d not recorded", w, res.Record.GoMaxProcs)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Colors, first.Colors) {
+			t.Errorf("workers=%d: colors diverge from workers=1", w)
+		}
+		if res.Record.Rounds != first.Record.Rounds || res.Record.Messages != first.Record.Messages {
+			t.Errorf("workers=%d: rounds/messages diverge: %d/%d vs %d/%d",
+				w, res.Record.Rounds, res.Record.Messages, first.Record.Rounds, first.Record.Messages)
+		}
+	}
+}
+
+// TestScaleSweepMatchesScaleRun pins the sweep harness to the plain
+// run: ScaleSweep prepares the instance once and reuses it across
+// points, which must not change the instance - every point has to
+// reproduce a plain ScaleRun with the same options bit for bit.
+func TestScaleSweepMatchesScaleRun(t *testing.T) {
+	base := ScaleOptions{N: 2500, Arboricity: 6, P: 4, Seed: 21, Dir: t.TempDir()}
+	plain, err := ScaleRun(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := ScaleSweep(base, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 2 {
+		t.Fatalf("sweep returned %d results, want 2", len(sweep))
+	}
+	for _, res := range sweep {
+		if !reflect.DeepEqual(res.Colors, plain.Colors) {
+			t.Errorf("workers=%d: sweep coloring diverges from plain ScaleRun", res.Record.Workers)
+		}
+		if res.Record.Rounds != plain.Record.Rounds || res.Record.Messages != plain.Record.Messages {
+			t.Errorf("workers=%d: rounds/messages diverge: %d/%d vs %d/%d", res.Record.Workers,
+				res.Record.Rounds, res.Record.Messages, plain.Record.Rounds, plain.Record.Messages)
+		}
+	}
+	if sweep[0].Record.GoMaxProcs != 1 || sweep[1].Record.GoMaxProcs != 2 {
+		t.Errorf("sweep gomaxprocs recorded as %d,%d, want 1,2",
+			sweep[0].Record.GoMaxProcs, sweep[1].Record.GoMaxProcs)
 	}
 }
 

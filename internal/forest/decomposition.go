@@ -114,16 +114,16 @@ func DecomposeWithOrientation(net *dist.Network, sigma *graph.Orientation, baseR
 	var res *dist.Result
 	var err error
 	if net.WordIO(forestAssign{}) {
-		col := make([]int64, 0, 2*g.M())
-		for v := 0; v < n; v++ {
-			for p := range g.Neighbors(v) {
-				var w int64
+		// Unfiltered run: visible ports coincide with the graph's port
+		// numbering, so the parent flags can be read per port, in
+		// parallel against the cached topology.
+		col := net.PortColumn(nil, nil, func(v int, ports []int, out []int64) {
+			for p := range ports {
 				if sigma.IsParentPort(v, p) {
-					w = 1
+					out[p] = 1
 				}
-				col = append(col, w)
 			}
-		}
+		})
 		res, err = net.RunWords(forestAssign{}, dist.RunOptions{InputWords: col})
 		if err != nil {
 			return nil, err

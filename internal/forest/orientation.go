@@ -125,19 +125,23 @@ func OrientByLevelKey(net *dist.Network, levels, keys []int, labels []int, activ
 	sigma := graph.NewOrientation(g)
 	if net.WordIO(orientExchange{}) {
 		col := make([]int64, 2*n)
-		for v := 0; v < n; v++ {
-			col[2*v] = int64(levels[v])
-			col[2*v+1] = int64(keys[v])
-		}
+		dist.ParallelFor(n, net.SweepWorkers(n), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				col[2*v] = int64(levels[v])
+				col[2*v+1] = int64(keys[v])
+			}
+		})
 		res, err := net.RunWords(orientExchange{}, dist.RunOptions{InputWords: col, Labels: labels, Active: active})
 		if err != nil {
 			return nil, err
 		}
 		// Decode the per-port direction column in the engine's layout
-		// order (active vertices ascending, visible ports ascending).
+		// order (active vertices ascending, visible ports ascending),
+		// served from the session's cached topology. The central sigma
+		// assembly stays serial: Orient mutates both endpoints' entries.
 		out, off := res.OutputWords, 0
 		var orientErr error
-		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+		net.ForEachVisible(labels, active, func(v int, ports []int) {
 			dirs := out[off : off+len(ports)]
 			off += len(ports)
 			for p, d := range dirs {

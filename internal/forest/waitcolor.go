@@ -266,19 +266,15 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 	}
 	colors := make([]int, n)
 	if net.WordIO(WaitColorAlgo{}) {
-		// Parent flags in the engine's per-port column order. Note: these
+		// Parent flags in the engine's per-port column order, filled in
+		// parallel against the session's cached topology. Note: these
 		// are VISIBLE ports (label/active-filtered), so they do not align
-		// with sigma's graph ports; query by neighbor vertex. 2M bounds
-		// the visible directed edge count under any filter, so the column
-		// grows at most once.
-		col := make([]int64, 0, 2*g.M())
-		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
-			for _, u := range ports {
-				var w int64
+		// with sigma's graph ports; query by neighbor vertex.
+		col := net.PortColumn(labels, active, func(v int, ports []int, out []int64) {
+			for p, u := range ports {
 				if sigma.IsParent(v, u) {
-					w = 1
+					out[p] = 1
 				}
-				col = append(col, w)
 			}
 		})
 		res, err := net.RunWords(newWordWaitColor(palette, rule), dist.RunOptions{

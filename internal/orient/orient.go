@@ -15,6 +15,7 @@ package orient
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/deltacolor"
 	"repro/internal/dist"
@@ -158,8 +159,20 @@ type Stats struct {
 
 // MeasureWithin measures out-degree, deficit and length of sigma counting
 // only intra-label edges between active vertices. With nil labels/active
-// it measures the whole graph.
+// it measures the whole graph. The O(m) per-vertex sweep fans out over
+// the available cores under the auto heuristic; pipelines that pin a
+// worker count use MeasureWithinWorkers so the knob paces this sweep too.
 func MeasureWithin(sigma *graph.Orientation, labels []int, active []bool) Stats {
+	return MeasureWithinWorkers(sigma, labels, active, 0)
+}
+
+// MeasureWithinWorkers is MeasureWithin on an explicit worker pool: a
+// positive count is honored exactly (callers pass
+// dist.Network.SweepWorkers), <= 0 means the auto heuristic. Per-chunk
+// maxima merge deterministically and each vertex's figures depend only
+// on read-only orientation state, so the result is identical at every
+// worker count.
+func MeasureWithinWorkers(sigma *graph.Orientation, labels []int, active []bool, workers int) Stats {
 	g := sigma.Graph()
 	var s Stats
 	visible := func(v, u int) bool {
@@ -168,32 +181,45 @@ func MeasureWithin(sigma *graph.Orientation, labels []int, active []bool) Stats 
 		}
 		return labels == nil || labels[v] == labels[u]
 	}
-	for v := 0; v < g.N(); v++ {
-		if active != nil && !active[v] {
-			continue
-		}
-		out, def := 0, 0
-		dirs := sigma.PortDirs(v)
-		for p, u := range g.Neighbors(v) {
-			if !visible(v, u) {
+	n := g.N()
+	var mu sync.Mutex
+	dist.ParallelFor(n, workers, func(lo, hi int) {
+		maxOut, maxDef := 0, 0
+		for v := lo; v < hi; v++ {
+			if active != nil && !active[v] {
 				continue
 			}
-			switch {
-			case dirs[p] == graph.Unoriented:
-				def++
-			case sigma.IsParentPort(v, p):
-				out++
-			default:
-				// incoming
+			out, def := 0, 0
+			dirs := sigma.PortDirs(v)
+			for p, u := range g.Neighbors(v) {
+				if !visible(v, u) {
+					continue
+				}
+				switch {
+				case dirs[p] == graph.Unoriented:
+					def++
+				case sigma.IsParentPort(v, p):
+					out++
+				default:
+					// incoming
+				}
+			}
+			if out > maxOut {
+				maxOut = out
+			}
+			if def > maxDef {
+				maxDef = def
 			}
 		}
-		if out > s.OutDegree {
-			s.OutDegree = out
+		mu.Lock()
+		if maxOut > s.OutDegree {
+			s.OutDegree = maxOut
 		}
-		if def > s.Deficit {
-			s.Deficit = def
+		if maxDef > s.Deficit {
+			s.Deficit = maxDef
 		}
-	}
+		mu.Unlock()
+	})
 	length, err := sigma.Length()
 	s.Acyclic = err == nil
 	if s.Acyclic {

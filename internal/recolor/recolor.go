@@ -398,16 +398,14 @@ func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int,
 	if net.WordIO(algo) {
 		var inWords []int64
 		if parentPorts != nil {
-			// 2M bounds the visible directed edge count under any filter.
-			inWords = make([]int64, 0, 2*g.M())
-			dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+			// Parent flags in the engine's per-port layout, filled in
+			// parallel against the session's cached topology.
+			inWords = net.PortColumn(labels, active, func(v int, ports []int, out []int64) {
 				flags := parentPorts[v]
 				for i := range ports {
-					var w int64
 					if i < len(flags) && flags[i] {
-						w = 1
+						out[i] = 1
 					}
-					inWords = append(inWords, w)
 				}
 			})
 		}

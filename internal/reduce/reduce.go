@@ -370,13 +370,15 @@ func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, acti
 		return 0, 0, fmt.Errorf("reduce: target %d < 1", target)
 	}
 	if net.WordIO(Algo{}) {
-		// Lay out the per-port arena in the engine's column order.
+		// Lay out the per-port arena in the engine's column order (served
+		// from the session's cached topology), then fill the arena and
+		// the input column in parallel.
 		if cap(pool.off) < n {
 			pool.off = make([]int32, n)
 		}
 		off := pool.off[:n]
 		total := 0
-		dist.ForEachVisible(g, labels, active, func(v int, ports []int) {
+		net.ForEachVisible(labels, active, func(v int, ports []int) {
 			off[v] = int32(total)
 			total += len(ports)
 		})
@@ -384,16 +386,20 @@ func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, acti
 			pool.nbrs = make([]int, total)
 		}
 		nbrs := pool.nbrs[:total]
-		for i := range nbrs {
-			nbrs[i] = -1
-		}
+		dist.ParallelFor(total, net.SweepWorkers(total), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nbrs[i] = -1
+			}
+		})
 		if cap(pool.col) < n {
 			pool.col = make([]int64, n)
 		}
 		col := pool.col[:n]
-		for v := 0; v < n; v++ {
-			col[v] = int64(colors[v])
-		}
+		dist.ParallelFor(n, net.SweepWorkers(n), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				col[v] = int64(colors[v])
+			}
+		})
 		res, err := net.RunWords(newWordAlgo(m, target, nbrs, off), dist.RunOptions{
 			InputWords: col, Labels: labels, Active: active,
 		})
