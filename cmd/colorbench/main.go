@@ -40,6 +40,8 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/field"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -64,7 +66,24 @@ func run() error {
 	scaleProcs := flag.String("scale-procs", "", "scale run: comma-separated core counts (e.g. 1,2,4,8); one full run per count with GOMAXPROCS and the worker pool pinned, asserting identical results")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	tracePath := flag.String("trace", "", "scale run: write a round-level JSONL trace of the full-size coloring run to this file (see cmd/colortrace)")
+	serveAddr := flag.String("serve", "", "serve live introspection (expvar + pprof) on this address (e.g. localhost:6060) for the life of the run")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		// Live introspection implies counting: the coloring.evals var is
+		// only worth scraping if the field-eval counters are running.
+		field.SetEvalStats(true)
+		obs.PublishEvalStats()
+		addr, err := obs.Serve(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+	if *tracePath != "" && !*scale {
+		return fmt.Errorf("-trace requires -scale (round-level tracing covers the scale run)")
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -97,7 +116,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, *jsonOut)
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, *jsonOut, *tracePath, *serveAddr != "")
 	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
@@ -176,7 +195,28 @@ func parseProcs(s string) ([]int, error) {
 // sweep. All records go to the JSON-Lines stream (or a readable text
 // line). A nonzero allocBudget gates the full runs' allocs/vertex - the
 // CI regression check for the typed word-I/O plumbing.
-func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs []int, jsonOut bool) error {
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs []int, jsonOut bool, tracePath string, serving bool) error {
+	// The trace covers the full-size run(s) only: the shadow pair is a
+	// correctness cross-check, and giving it the probe would interleave
+	// its records with the measured run's.
+	var tw *obs.TraceWriter
+	var probe *dist.Probe
+	if tracePath != "" {
+		var err error
+		tw, err = obs.CreateTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		probe = dist.NewProbe(tw)
+		field.SetEvalStats(true)
+		obs.PublishProbe(probe)
+	} else if serving {
+		// Metrics-only probe: nothing is written, but the -serve expvar
+		// scrape (coloring.probe) sees live run/round/message totals.
+		probe = dist.NewProbe(discardSink{})
+		obs.PublishProbe(probe)
+	}
+
 	var recs []experiments.Record
 	emit := func(res *experiments.ScaleResult) {
 		recs = append(recs, res.Record)
@@ -228,6 +268,8 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	opt := experiments.ScaleOptions{
 		N: n, Arboricity: a, P: p, Seed: seed, GraphPath: graphPath,
 		Delivery: dist.DeliveryBatch,
+		Probe:    probe, TracePath: tracePath,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
 	var fulls []*experiments.ScaleResult
 	var sweepErr error
@@ -236,12 +278,35 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	} else {
 		full, err := experiments.ScaleRun(opt)
 		if err != nil {
+			if probe != nil {
+				probe.Close()
+			}
+			if tw != nil {
+				tw.Close()
+			}
 			return err
 		}
 		fulls = []*experiments.ScaleResult{full}
 	}
 	for _, full := range fulls {
 		emit(full)
+	}
+
+	// Seal the trace: flush the probe's ring, append the eval-stat
+	// snapshot, close the file. Done before the gates below so a failing
+	// gate still leaves a complete trace artifact.
+	if probe != nil {
+		probe.Close()
+	}
+	if tw != nil {
+		tw.WriteEvalStats(field.EvalStatsSnapshot())
+		rounds, runs := tw.Counts()
+		if err := tw.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if !jsonOut {
+			fmt.Printf("trace: %d round records, %d run records -> %s\n", rounds, runs, tracePath)
+		}
 	}
 
 	// Write the records before applying any gate, so a failing run still
@@ -267,3 +332,10 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	}
 	return nil
 }
+
+// discardSink drops probe records; it backs the metrics-only probe the
+// -serve endpoint scrapes when no -trace file was requested.
+type discardSink struct{}
+
+func (discardSink) FlushRounds([]dist.RoundRecord) {}
+func (discardSink) FlushRuns([]dist.RunRecord)     {}

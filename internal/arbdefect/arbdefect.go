@@ -17,6 +17,7 @@ package arbdefect
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/forest"
@@ -33,6 +34,15 @@ type SimpleResult struct {
 	Bound    int
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive are host-side observability figures (wait-color
+	// engine wall plus the central measurement sweep); not deterministic.
+	Wall     time.Duration
+	PeakLive int
+}
+
+// Stats returns the run-stat view of the Simple-Arbdefective cost.
+func (r *SimpleResult) Stats() dist.RunStats {
+	return dist.RunStats{Rounds: r.Rounds, Messages: r.Messages, Wall: r.Wall, PeakLive: r.PeakLive}
 }
 
 // Simple runs Procedure Simple-Arbdefective on an acyclic (partial)
@@ -42,6 +52,7 @@ func Simple(net *dist.Network, sigma *graph.Orientation, k int, labels []int, ac
 	if k < 1 {
 		return nil, fmt.Errorf("arbdefect: k must be >= 1, got %d", k)
 	}
+	start := time.Now()
 	wc, err := forest.WaitColor(net, sigma, k, forest.RuleLeastUsed, labels, active)
 	if err != nil {
 		return nil, err
@@ -52,6 +63,8 @@ func Simple(net *dist.Network, sigma *graph.Orientation, k int, labels []int, ac
 		Bound:    s.Deficit + s.OutDegree/k,
 		Rounds:   wc.Rounds,
 		Messages: wc.Messages,
+		Wall:     time.Since(start),
+		PeakLive: wc.PeakLive,
 	}, nil
 }
 
@@ -83,11 +96,12 @@ func Coloring(net *dist.Network, a, k, t int, eps forest.Eps, labels []int, acti
 	}
 	var tally dist.Tally
 	tally.Merge(po.Tally)
+	net.Probe().SetPhase("arbdefect/simple-arbdefective")
 	sr, err := Simple(net, po.Sigma, k, labels, active)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("simple-arbdefective", sr.Rounds, sr.Messages)
+	tally.AddStats("simple-arbdefective", sr.Stats())
 	return &ColoringResult{
 		Colors: sr.Colors,
 		Bound:  a/t + eps.Threshold(a)/k,
@@ -115,18 +129,20 @@ func Kuhn(net *dist.Network, a, t int, eps forest.Eps) (*KuhnResult, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("arbdefect: t must be >= 1, got %d", t)
 	}
+	net.Probe().SetPhase("arbdefect/complete-orientation")
 	or, _, err := forest.CompleteAcyclicOrientation(net, a, eps)
 	if err != nil {
 		return nil, err
 	}
 	var tally dist.Tally
-	tally.AddRounds("complete-orientation", or.Rounds, or.Messages)
+	tally.AddStats("complete-orientation", or.Stats())
 	d := a / t
+	net.Probe().SetPhase("arbdefect/arb-recolor")
 	res, err := recolor.ArbKuhn(net, or.Sigma, d)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("arb-recolor", res.Rounds, res.Messages)
+	tally.AddPhase("arb-recolor", res.Rounds, res.Messages, res.Wall, res.PeakLive)
 	return &KuhnResult{
 		Colors: res.Colors,
 		Defect: d,

@@ -33,10 +33,11 @@ func BE08Coloring(net *dist.Network, a int, eps forest.Eps) (*BE08Result, error)
 	}
 	tally.Merge(co.Tally)
 	palette := eps.Threshold(a) + 1
+	net.Probe().SetPhase("be08/greedy")
 	wc, err := forest.WaitColor(net, co.Sigma, palette, forest.RuleFirstFree, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("greedy", wc.Rounds, wc.Messages)
+	tally.AddStats("greedy", wc.Stats())
 	return &BE08Result{Colors: wc.Colors, Palette: palette, Tally: &tally}, nil
 }

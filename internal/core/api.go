@@ -88,11 +88,12 @@ func OneShot(net *dist.Network, a int, eps forest.Eps) (*Result, error) {
 		return nil, err
 	}
 	tally.Merge(co.Tally)
+	net.Probe().SetPhase("core/final-greedy")
 	wc, err := forest.WaitColor(net, co.Sigma, gamma, forest.RuleFirstFree, ad.Colors, nil)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("final-greedy", wc.Rounds, wc.Messages)
+	tally.AddStats("final-greedy", wc.Stats())
 	colors := make([]int, n)
 	for v := 0; v < n; v++ {
 		colors[v] = ad.Colors[v]*gamma + wc.Colors[v]
@@ -122,16 +123,18 @@ func twoPhase(net *dist.Network, a, d, p int, eps forest.Eps) (*FastResult, erro
 		eps = forest.DefaultEps
 	}
 	var tally dist.Tally
+	net.Probe().SetPhase("core/complete-orientation")
 	or, _, err := forest.CompleteAcyclicOrientation(net, a, eps)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("complete-orientation", or.Rounds, or.Messages)
+	tally.AddStats("complete-orientation", or.Stats())
+	net.Probe().SetPhase("core/arb-recolor")
 	kres, err := recolor.ArbKuhn(net, or.Sigma, d)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("arb-recolor", kres.Rounds, kres.Messages)
+	tally.AddPhase("arb-recolor", kres.Rounds, kres.Messages, kres.Wall, kres.PeakLive)
 
 	alpha := d
 	if alpha < 1 {

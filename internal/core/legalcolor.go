@@ -134,11 +134,12 @@ func LegalColoring(net *dist.Network, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: final orientation: %w", err)
 	}
 	tally.Merge(co.Tally)
+	net.Probe().SetPhase("core/final-greedy")
 	wc, err := forest.WaitColor(net, co.Sigma, paletteA, forest.RuleFirstFree, z, cfg.Active)
 	if err != nil {
 		return nil, fmt.Errorf("core: final coloring: %w", err)
 	}
-	tally.AddRounds("final-greedy", wc.Rounds, wc.Messages)
+	tally.AddStats("final-greedy", wc.Stats())
 
 	// Line 19's palette offset: color = z*A + psi (a free local step).
 	colors := make([]int, n)

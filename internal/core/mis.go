@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dist"
 )
@@ -62,6 +63,10 @@ type MISResult struct {
 	InMIS    []bool
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive are host-side observability figures; not
+	// deterministic.
+	Wall     time.Duration
+	PeakLive int
 }
 
 // MISFromColoring converts a legal coloring into an MIS in maxColor rounds.
@@ -85,7 +90,7 @@ func MISFromColoring(net *dist.Network, colors []int) (*MISResult, error) {
 			return nil, fmt.Errorf("core: mis: vertex %d unexpected output %T", v, o)
 		}
 	}
-	return &MISResult{InMIS: inMIS, Rounds: res.Rounds, Messages: res.Messages}, nil
+	return &MISResult{InMIS: inMIS, Rounds: res.Rounds, Messages: res.Messages, Wall: res.Wall, PeakLive: res.PeakLive}, nil
 }
 
 // MIS computes a maximal independent set on a graph of arboricity at most
@@ -98,10 +103,11 @@ func MIS(net *dist.Network, cfg Config) (*MISResult, *dist.Tally, error) {
 	}
 	var tally dist.Tally
 	tally.Merge(lc.Tally)
+	net.Probe().SetPhase("core/mis-sweep")
 	mr, err := MISFromColoring(net, lc.Colors)
 	if err != nil {
 		return nil, nil, err
 	}
-	tally.AddRounds("mis-sweep", mr.Rounds, mr.Messages)
+	tally.AddPhase("mis-sweep", mr.Rounds, mr.Messages, mr.Wall, mr.PeakLive)
 	return mr, &tally, nil
 }

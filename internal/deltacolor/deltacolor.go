@@ -26,6 +26,7 @@ package deltacolor
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/recolor"
@@ -109,11 +110,12 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 		plan := recolor.Plan(n, d, target)
 		classColor := takeSnapshot()
 		p := recolor.Params{Color: -1, M0: n, DegBound: d, TargetDefect: target}
-		rounds, msgs, err := recolor.RunUniform(net, p, nil, labels, active, classColor)
+		net.Probe().SetPhase(fmt.Sprintf("deltacolor/defective(d=%d)", d))
+		st, err := recolor.RunUniform(net, p, nil, labels, active, classColor)
 		if err != nil {
 			return nil, fmt.Errorf("deltacolor: defective split at d=%d: %w", d, err)
 		}
-		tally.AddRounds(fmt.Sprintf("defective(d=%d)", d), rounds, msgs)
+		tally.AddStats(fmt.Sprintf("defective(d=%d)", d), st)
 		lvLabels := takeSnapshot()
 		copy(lvLabels, labels)
 		levels = append(levels, level{
@@ -131,19 +133,21 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 	basePlan := recolor.Plan(n, d, 0)
 	colors := make([]int, n)
 	p := recolor.Params{Color: -1, M0: n, DegBound: d, TargetDefect: 0}
-	rounds, msgs, err := recolor.RunUniform(net, p, nil, labels, active, colors)
+	net.Probe().SetPhase("deltacolor/base-linial")
+	st, err := recolor.RunUniform(net, p, nil, labels, active, colors)
 	if err != nil {
 		return nil, fmt.Errorf("deltacolor: base Linial: %w", err)
 	}
-	tally.AddRounds("base-linial", rounds, msgs)
+	tally.AddStats("base-linial", st)
 
 	var rpool reduce.Pool
 	m := basePlan.FinalColors()
-	rounds, msgs, err = reduce.KWPooled(net, colors, m, d+1, labels, active, &rpool, colors)
+	net.Probe().SetPhase("deltacolor/base-reduce")
+	st, err = reduce.KWPooled(net, colors, m, d+1, labels, active, &rpool, colors)
 	if err != nil {
 		return nil, fmt.Errorf("deltacolor: base reduction: %w", err)
 	}
-	tally.AddRounds("base-reduce", rounds, msgs)
+	tally.AddStats("base-reduce", st)
 	palette := d + 1
 
 	// Bottom-up merges: disjoint palettes per sibling class, then reduce
@@ -154,6 +158,8 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 	workers := net.SweepWorkers(n)
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
+		net.Probe().SetPhase(fmt.Sprintf("deltacolor/merge(d=%d)", lv.dBefore))
+		mergeStart := time.Now()
 		dist.ParallelFor(n, workers, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				merged[v] = lv.classColor[v]*palette + colors[v]
@@ -161,12 +167,15 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 		})
 		m := lv.numClasses * palette
 		target := lv.dBefore + 1
-		rounds, msgs, err := reduce.KWPooled(net, merged, m, target, lv.labels, active, &rpool, colors)
+		st, err := reduce.KWPooled(net, merged, m, target, lv.labels, active, &rpool, colors)
 		if err != nil {
 			return nil, fmt.Errorf("deltacolor: merge at d=%d: %w", lv.dBefore, err)
 		}
 		palette = target
-		tally.AddRounds(fmt.Sprintf("merge(d=%d)", lv.dBefore), rounds, msgs)
+		// The merge phase's wall includes the central palette-merge sweep,
+		// which precedes the reduction but belongs to this phase.
+		st.Wall = time.Since(mergeStart)
+		tally.AddStats(fmt.Sprintf("merge(d=%d)", lv.dBefore), st)
 	}
 
 	return &Result{Colors: colors, Palette: palette, Tally: &tally}, nil

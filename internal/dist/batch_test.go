@@ -154,6 +154,7 @@ func runBoth(t *testing.T, net *Network, algo FixedWidthAlgorithm, opts RunOptio
 	if err != nil {
 		t.Fatalf("batch run: %v", err)
 	}
+	boxed.Wall, batch.Wall = 0, 0 // host wall time, not deterministic
 	if !reflect.DeepEqual(boxed, batch) {
 		t.Fatalf("transports diverged:\nboxed: rounds=%d messages=%d\nbatch: rounds=%d messages=%d",
 			boxed.Rounds, boxed.Messages, batch.Rounds, batch.Messages)
@@ -204,6 +205,7 @@ func TestBatchParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		res.Wall = 0 // host wall time, not deterministic
 		return res
 	}
 	seq := run(1) // force sequential
@@ -397,6 +399,7 @@ func TestBatchNetworkReusableAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	first.Wall, second.Wall = 0, 0 // host wall time, not deterministic
 	if !reflect.DeepEqual(first, second) {
 		t.Fatal("re-running on the same network changed the result")
 	}

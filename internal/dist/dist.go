@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -88,6 +89,13 @@ type Result struct {
 	Rounds int
 	// Messages is the total number of messages sent.
 	Messages int64
+	// Wall is the host-side wall time of the whole Run (setup through
+	// result collection). Unlike everything else in a Result it is not
+	// deterministic; orchestrators carry it into PhaseStat.Wall.
+	Wall time.Duration
+	// PeakLive is the number of live vertices the run started with (the
+	// live set only shrinks).
+	PeakLive int
 }
 
 // Node is the per-vertex view an Algorithm operates on. Input, State and
@@ -188,6 +196,9 @@ type Network struct {
 	// pooled per-run state. It is a pointer so WithDelivery/WithWorkers
 	// views share it.
 	sess *session
+	// probe, when non-nil, receives round- and run-level trace records
+	// from every Run on this view; see WithProbe and probe.go.
+	probe *Probe
 }
 
 // NewNetwork returns a network with canonical identifiers id(v) = v+1.
@@ -287,10 +298,13 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	s, err := newSimulation(net, algo, opts, batch)
 	if err != nil {
 		return nil, err
 	}
+	s.start = start
+	s.setupNS = time.Since(start).Nanoseconds()
 	return s.run()
 }
 
@@ -347,6 +361,14 @@ type simulation struct {
 	workers  int
 	explicit bool
 
+	// start/setupNS time the run for Result.Wall and the probe's
+	// setup-vs-compute split; topoCached/scratchPooled are the session
+	// events the run record reports (probe.go).
+	start         time.Time
+	setupNS       int64
+	topoCached    bool
+	scratchPooled bool
+
 	// failSlot is the per-run error slot Node.Fail records into.
 	failSlot runFailure
 
@@ -379,7 +401,7 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) (*
 	}
 	workers, explicit := net.resolveWorkers(opts.Workers)
 	setupW := sweepWorkersFor(n, workers, explicit)
-	topo := net.sess.topology(net.g, opts.Labels, opts.Active, setupW)
+	topo, topoHit := net.sess.topology(net.g, opts.Labels, opts.Active, setupW)
 
 	var fw FixedWidthAlgorithm
 	var wio WordIOAlgorithm
@@ -430,19 +452,21 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) (*
 		}
 	}
 
-	rs := net.sess.borrowRun()
+	rs, pooled := net.sess.borrowRun()
 	s := &rs.sim
 	*s = simulation{
-		net:      net,
-		algo:     algo,
-		opts:     opts,
-		topo:     topo,
-		rs:       rs,
-		workers:  workers,
-		explicit: explicit,
-		fw:       fw,
-		width:    width,
-		wio:      wio,
+		net:           net,
+		algo:          algo,
+		opts:          opts,
+		topo:          topo,
+		rs:            rs,
+		workers:       workers,
+		explicit:      explicit,
+		topoCached:    topoHit,
+		scratchPooled: pooled,
+		fw:            fw,
+		width:         width,
+		wio:           wio,
 	}
 	rs.nodes = grown(rs.nodes, n)
 	rs.arr = grown(rs.arr, n)
@@ -523,6 +547,11 @@ func (s *simulation) close() {
 }
 
 func (s *simulation) run() (*Result, error) {
+	// The probed twin (probe.go) carries the per-round timing and record
+	// emission; this single nil check is the disabled path's entire cost.
+	if s.net.probe != nil {
+		return s.runProbed()
+	}
 	defer s.close()
 	s.stepRound(0)
 	s.collectHalted(0)
@@ -551,7 +580,14 @@ func (s *simulation) run() (*Result, error) {
 		}
 	}
 	outs, msgs := s.collectResults()
-	return &Result{Outputs: outs, OutputWords: s.outCol, Rounds: rounds, Messages: msgs}, nil
+	return &Result{
+		Outputs:     outs,
+		OutputWords: s.outCol,
+		Rounds:      rounds,
+		Messages:    msgs,
+		Wall:        time.Since(s.start),
+		PeakLive:    len(s.topo.live),
+	}, nil
 }
 
 // collectResults gathers the boxed outputs and the message total in one

@@ -70,4 +70,34 @@
 // delivery reads only previous-round data, so results are bit-for-bit
 // identical at every worker count - the speedup sweeps in CI assert
 // exactly that.
+//
+// # Observability
+//
+// A Probe (probe.go) streams one RoundRecord per communication round
+// and one RunRecord per engine run to a ProbeSink, for round-level
+// tracing without touching results. Lifetime and ownership rules:
+//
+//   - Construct with NewProbe(sink), attach with Network.WithProbe
+//     (a view, like WithDelivery/WithWorkers), label upcoming runs
+//     with Probe.SetPhase, and Close the probe after the last run -
+//     Close flushes buffered records and stops the flusher; writing
+//     sinks (obs.TraceWriter) are closed after the probe.
+//   - Sink callbacks receive slices that the probe reuses after the
+//     callback returns; a sink that retains records must copy them.
+//     Callbacks run off the round loop (a background flusher drains
+//     a chunked ring), so a slow sink back-pressures the flusher, not
+//     the simulation.
+//   - Probes are purely observational: a probed run produces
+//     bit-for-bit identical colors, rounds and messages, and every
+//     record field except the wall-clock timings (WallNS, chunk
+//     times, SetupNS/ComputeNS) is deterministic across worker
+//     counts. A nil or absent probe costs the round loop one nil
+//     check (BenchmarkRunProbeOff/On pins this).
+//   - Records only cover rounds 1..Result.Rounds; Init's messages
+//     fold into the first round's record, and a run that halts at
+//     Init emits a RunRecord but no RoundRecords.
+//
+// RunRecords also expose the session telemetry above (TopoCached,
+// ScratchPooled, setup vs. compute time), which is how cache behavior
+// is asserted in tests and surfaced in traces.
 package dist

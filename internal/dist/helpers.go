@@ -140,7 +140,7 @@ func appendVisible(ports []int, g *graph.Graph, labels []int, active []bool, v i
 // and read shared state; the returned column is caller-owned.
 func (net *Network) PortColumn(labels []int, active []bool, fill func(v int, ports []int, out []int64)) []int64 {
 	w, explicit := net.resolveWorkers(0)
-	topo := net.sess.topology(net.g, labels, active, sweepWorkersFor(net.g.N(), w, explicit))
+	topo, _ := net.sess.topology(net.g, labels, active, sweepWorkersFor(net.g.N(), w, explicit))
 	col := make([]int64, topo.totalPorts)
 	live := topo.live
 	parfor(len(live), sweepWorkersFor(len(live), w, explicit), func(lo, hi int) {
@@ -162,7 +162,7 @@ func (net *Network) PortColumn(labels []int, active []bool, fill func(v int, por
 // ports slices are views into cached state and must not be modified.
 func (net *Network) ForEachVisible(labels []int, active []bool, fn func(v int, ports []int)) {
 	w, explicit := net.resolveWorkers(0)
-	topo := net.sess.topology(net.g, labels, active, sweepWorkersFor(net.g.N(), w, explicit))
+	topo, _ := net.sess.topology(net.g, labels, active, sweepWorkersFor(net.g.N(), w, explicit))
 	for _, v := range topo.live {
 		fn(v, topo.ports[v])
 	}

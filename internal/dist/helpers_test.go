@@ -3,6 +3,7 @@ package dist
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -45,6 +46,38 @@ func TestTallyAccounting(t *testing.T) {
 	a.AddRounds("four", 100, 0)
 	if b.Rounds() != 12 {
 		t.Error("Merge aliased the source tally")
+	}
+}
+
+func TestTallyWallAttribution(t *testing.T) {
+	var a Tally
+	a.AddPhase("timed", 2, 5, 3*time.Millisecond, 100)
+	a.AddStats("stats", RunStats{Rounds: 1, Messages: 2, Wall: 2 * time.Millisecond, PeakLive: 250})
+	a.AddRounds("legacy", 1, 1) // no wall attribution
+	if got, want := a.Wall(), 5*time.Millisecond; got != want {
+		t.Errorf("wall = %v, want %v", got, want)
+	}
+	if got := a.PeakLive(); got != 250 {
+		t.Errorf("peak live = %d, want 250", got)
+	}
+
+	// Merge must preserve the wall and peak-live fields phase by phase.
+	var b Tally
+	b.Merge(&a)
+	if b.Wall() != a.Wall() || b.PeakLive() != a.PeakLive() {
+		t.Errorf("merge dropped attribution: wall %v/%v peak %d/%d",
+			b.Wall(), a.Wall(), b.PeakLive(), a.PeakLive())
+	}
+	if b.NumPhases() != 3 {
+		t.Fatalf("merged %d phases, want 3", b.NumPhases())
+	}
+	for i := 0; i < b.NumPhases(); i++ {
+		if b.Phase(i) != a.Phase(i) {
+			t.Errorf("phase %d changed across merge: %+v vs %+v", i, b.Phase(i), a.Phase(i))
+		}
+	}
+	if b.Phase(2).Wall != 0 || b.Phase(2).PeakLive != 0 {
+		t.Errorf("legacy AddRounds phase gained attribution: %+v", b.Phase(2))
 	}
 }
 

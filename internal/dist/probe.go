@@ -1,0 +1,414 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the engine's observability hook: an optional Probe
+// a Network view carries into its Runs. When attached, the run loop emits
+// one fixed-width RoundRecord per communication round and one RunRecord
+// per Run, buffered in a preallocated ring and flushed to a ProbeSink off
+// the round loop. With no probe attached the engine takes the plain run
+// loop, whose only extra cost is a single nil check per Run - a benchmark
+// pins the disabled-path overhead at ~0.
+//
+// Determinism. Everything in a record except the wall-clock and fan-out
+// fields (WallNS, MaxChunkNS, MeanChunkNS, SetupNS, ComputeNS, Workers)
+// is derived from the simulation state and is therefore bit-for-bit
+// identical across worker counts and repeated runs; a test pins that.
+
+// RoundRecord is the fixed-width per-round trace record. One record is
+// emitted per Step round r = 1..Result.Rounds; the messages Init sends
+// (round 0) are folded into the first record, so the Messages fields of a
+// run's records sum exactly to Result.Messages. A run whose every node
+// halts during Init (Result.Rounds == 0) emits no round records; its
+// Init messages appear only in the RunRecord.
+type RoundRecord struct {
+	// Run is the probe-scoped sequence number tying the record to its
+	// RunRecord.
+	Run int64 `json:"run"`
+	// Round is the Step round index, starting at 1.
+	Round int `json:"round"`
+	// Live is the number of live nodes stepping this round.
+	Live int `json:"live"`
+	// Messages is the number of messages sent this round (round 1
+	// includes Init's sends; see above).
+	Messages int64 `json:"messages"`
+	// Workers is the fan-out the step sweep used this round.
+	Workers int `json:"workers"`
+	// Batch reports the delivery plane (true = columnar batch transport,
+	// false = boxed []any fallback).
+	Batch bool `json:"batch"`
+	// WallNS is the wall time of the full round (step + delivery
+	// housekeeping + halt collection).
+	WallNS int64 `json:"wall_ns"`
+	// MaxChunkNS / MeanChunkNS measure per-chunk imbalance of the step
+	// sweep: with a single worker both equal the step time.
+	MaxChunkNS  int64 `json:"max_chunk_ns"`
+	MeanChunkNS int64 `json:"mean_chunk_ns"`
+}
+
+// RunRecord is the per-Run trace record: aggregates plus the run-level
+// session events (topology cache hit, pooled-scratch reuse, setup vs.
+// compute wall).
+type RunRecord struct {
+	// Run is the probe-scoped sequence number shared with the run's
+	// RoundRecords.
+	Run int64 `json:"run"`
+	// Phase is the orchestrator-declared label current at the start of
+	// the run (see Probe.SetPhase); empty when none was set.
+	Phase string `json:"phase,omitempty"`
+	// Rounds / Messages / PeakLive mirror Result.
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+	PeakLive int   `json:"peak_live"`
+	// Workers is the resolved pool size of the run.
+	Workers int `json:"workers"`
+	// Batch reports the delivery plane.
+	Batch bool `json:"batch"`
+	// TopoCached reports a session topology-cache hit; ScratchPooled
+	// reports reuse of the pooled per-run scratch bundle.
+	TopoCached    bool `json:"topo_cached"`
+	ScratchPooled bool `json:"scratch_pooled"`
+	// SetupNS is the wall time of simulation assembly (topology resolve +
+	// node wiring); ComputeNS is the wall time of the round loop and
+	// result collection.
+	SetupNS   int64 `json:"setup_ns"`
+	ComputeNS int64 `json:"compute_ns"`
+	// Err is the run's error text when it aborted (budget, Node.Fail);
+	// empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// RunStats is the compact cost summary of one engine run, carried by
+// orchestrator results so every pipeline phase can be attributed wall
+// time and peak live-set size alongside the LOCAL measures.
+type RunStats struct {
+	Rounds   int
+	Messages int64
+	Wall     time.Duration
+	PeakLive int
+}
+
+// Stats summarizes the run as a RunStats.
+func (r *Result) Stats() RunStats {
+	return RunStats{Rounds: r.Rounds, Messages: r.Messages, Wall: r.Wall, PeakLive: r.PeakLive}
+}
+
+// ProbeSink receives flushed trace records. Flushes happen on a single
+// background goroutine per Probe, so a sink needs no locking against the
+// probe itself (only against its own other readers). The record slices
+// are reused after the call returns: a sink must consume or copy them
+// before returning.
+type ProbeSink interface {
+	FlushRounds([]RoundRecord)
+	FlushRuns([]RunRecord)
+}
+
+// probeChunk is the RoundRecord capacity of one ring chunk; probeChunks
+// is the number of chunks in flight (one being written, the rest queued
+// or free). A chunk flushes when full and at run end.
+const (
+	probeChunk  = 256
+	probeChunks = 4
+)
+
+// probeBatch is one unit of work for the flusher: a filled round-record
+// chunk, a run record, or both (run end flushes the partial chunk first).
+type probeBatch struct {
+	rounds []RoundRecord
+	run    RunRecord
+	hasRun bool
+}
+
+// ProbeTotals are the monotonically growing aggregates a live Probe
+// exposes (e.g. through expvar on a -serve endpoint).
+type ProbeTotals struct {
+	Runs     int64 `json:"runs"`
+	Rounds   int64 `json:"rounds"`
+	Messages int64 `json:"messages"`
+}
+
+// Probe collects round- and run-level trace records from every Run of
+// the Network views it is attached to (Network.WithProbe). Records are
+// staged in a preallocated ring of chunks and handed to the sink on a
+// background goroutine, so the round loop never blocks on I/O unless the
+// sink falls more than the whole ring behind. Close flushes the
+// remainder and stops the goroutine; the probe must not be used after.
+//
+// A Probe may be shared by overlapping runs (its staging is mutexed),
+// but record interleaving across concurrent runs is then arbitrary;
+// the Run sequence number ties each record to its run.
+type Probe struct {
+	mu     sync.Mutex
+	phase  string
+	seq    int64
+	cur    []RoundRecord
+	free   chan []RoundRecord
+	full   chan probeBatch
+	done   chan struct{}
+	closed bool
+	totals ProbeTotals
+}
+
+// NewProbe returns a Probe flushing into sink. The caller owns the probe
+// and must Close it to flush trailing records and release the flusher
+// goroutine; see the ownership notes in doc.go.
+func NewProbe(sink ProbeSink) *Probe {
+	p := &Probe{
+		cur:  make([]RoundRecord, 0, probeChunk),
+		free: make(chan []RoundRecord, probeChunks),
+		full: make(chan probeBatch, probeChunks),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < probeChunks-1; i++ {
+		p.free <- make([]RoundRecord, 0, probeChunk)
+	}
+	go p.flush(sink)
+	return p
+}
+
+// flush is the background drain: chunks return to the free ring after
+// the sink consumed them.
+func (p *Probe) flush(sink ProbeSink) {
+	defer close(p.done)
+	var runBuf [1]RunRecord
+	for b := range p.full {
+		if b.rounds != nil {
+			sink.FlushRounds(b.rounds)
+			p.free <- b.rounds[:0]
+		}
+		if b.hasRun {
+			runBuf[0] = b.run
+			sink.FlushRuns(runBuf[:])
+		}
+	}
+}
+
+// SetPhase labels subsequent runs with an orchestrator-level phase name
+// (snapshotted per run into RunRecord.Phase). Safe on a nil probe, so
+// orchestrators call net.Probe().SetPhase(...) unconditionally.
+func (p *Probe) SetPhase(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = name
+	p.mu.Unlock()
+}
+
+// Totals returns the probe's running aggregates.
+func (p *Probe) Totals() ProbeTotals {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals
+}
+
+// beginRun assigns the next run sequence number and snapshots the
+// current phase label.
+func (p *Probe) beginRun() (seq int64, phase string) {
+	p.mu.Lock()
+	p.seq++
+	seq, phase = p.seq, p.phase
+	p.mu.Unlock()
+	return seq, phase
+}
+
+// round stages one round record, flushing the chunk when full.
+func (p *Probe) round(rec RoundRecord) {
+	p.mu.Lock()
+	p.cur = append(p.cur, rec)
+	p.totals.Rounds++
+	p.totals.Messages += rec.Messages
+	if len(p.cur) == cap(p.cur) {
+		next := <-p.free
+		p.full <- probeBatch{rounds: p.cur}
+		p.cur = next
+	}
+	p.mu.Unlock()
+}
+
+// endRun flushes the staged rounds of the finished run together with its
+// run record, preserving rounds-before-run ordering at the sink.
+func (p *Probe) endRun(rec RunRecord) {
+	p.mu.Lock()
+	b := probeBatch{run: rec, hasRun: true}
+	if len(p.cur) > 0 {
+		next := <-p.free
+		b.rounds = p.cur
+		p.cur = next
+	}
+	p.totals.Runs++
+	p.full <- b
+	p.mu.Unlock()
+}
+
+// Close flushes any staged records and stops the flusher goroutine,
+// returning once the sink has consumed everything. Close is idempotent;
+// attaching the probe to further runs after Close panics.
+func (p *Probe) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	if len(p.cur) > 0 {
+		p.full <- probeBatch{rounds: p.cur}
+		p.cur = nil
+	}
+	close(p.full)
+	p.mu.Unlock()
+	<-p.done
+}
+
+// WithProbe returns a view of the network sharing the graph, identifier
+// assignment and session whose Runs report to p (nil detaches). Like
+// WithDelivery, orchestrator-internal runs on the view inherit the
+// probe, so attaching one at the pipeline entry point traces every
+// phase.
+func (net *Network) WithProbe(p *Probe) *Network {
+	c := *net
+	c.probe = p
+	return &c
+}
+
+// Probe returns the probe attached to this network view, or nil. Its
+// nil-safe methods (SetPhase) let orchestrators label phases without
+// checking.
+func (net *Network) Probe() *Probe { return net.probe }
+
+// runProbed is the traced twin of simulation.run: identical engine
+// semantics (same step / flush / collect order), plus per-round timing
+// and record emission. Keeping it separate leaves the disabled path
+// untouched.
+func (s *simulation) runProbed() (*Result, error) {
+	defer s.close()
+	p := s.net.probe
+	seq, phase := p.beginRun()
+	compute := time.Now()
+	fail := func(err error) error {
+		s.emitRun(p, seq, phase, 0, 0, time.Since(compute), err)
+		return err
+	}
+	s.stepRound(0)
+	s.collectHalted(0)
+	if err := s.failSlot.take(); err != nil {
+		return nil, fail(err)
+	}
+	budget := s.opts.MaxRounds
+	if budget == 0 {
+		budget = defaultMaxRounds
+	}
+	rounds := 0
+	var prevSent int64
+	for r := 1; len(s.live) > 0; r++ {
+		if r > budget {
+			return nil, fail(fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
+				len(s.live), budget, ErrMaxRounds))
+		}
+		live := len(s.live)
+		roundStart := time.Now()
+		w, maxNS, meanNS := s.stepRoundTimed(r)
+		if s.fw != nil {
+			s.flushHaltClears()
+		}
+		rounds = r
+		s.collectHalted(r)
+		wall := time.Since(roundStart)
+		cum := s.sentTotal()
+		p.round(RoundRecord{
+			Run:         seq,
+			Round:       r,
+			Live:        live,
+			Messages:    cum - prevSent,
+			Workers:     w,
+			Batch:       s.fw != nil,
+			WallNS:      wall.Nanoseconds(),
+			MaxChunkNS:  maxNS,
+			MeanChunkNS: meanNS,
+		})
+		prevSent = cum
+		if err := s.failSlot.take(); err != nil {
+			return nil, fail(err)
+		}
+	}
+	outs, msgs := s.collectResults()
+	res := &Result{
+		Outputs:     outs,
+		OutputWords: s.outCol,
+		Rounds:      rounds,
+		Messages:    msgs,
+		Wall:        time.Since(s.start),
+		PeakLive:    len(s.topo.live),
+	}
+	s.emitRun(p, seq, phase, rounds, msgs, time.Since(compute), nil)
+	return res, nil
+}
+
+// emitRun assembles and stages the run record.
+func (s *simulation) emitRun(p *Probe, seq int64, phase string, rounds int, msgs int64, compute time.Duration, err error) {
+	rec := RunRecord{
+		Run:           seq,
+		Phase:         phase,
+		Rounds:        rounds,
+		Messages:      msgs,
+		PeakLive:      len(s.topo.live),
+		Workers:       s.workers,
+		Batch:         s.fw != nil,
+		TopoCached:    s.topoCached,
+		ScratchPooled: s.scratchPooled,
+		SetupNS:       s.setupNS,
+		ComputeNS:     compute.Nanoseconds(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	p.endRun(rec)
+}
+
+// stepRoundTimed is stepRound with per-chunk wall measurement; it
+// reports the fan-out used and the max/mean per-chunk step time.
+func (s *simulation) stepRoundTimed(r int) (workers int, maxNS, meanNS int64) {
+	m := len(s.live)
+	w := s.sweepWorkers(m)
+	if w <= 1 {
+		t := time.Now()
+		s.stepSlice(r, 0, m)
+		d := time.Since(t).Nanoseconds()
+		return 1, d, d
+	}
+	chunk := (m + w - 1) / w
+	chunks := (m + chunk - 1) / chunk
+	s.rs.chunkNS = grown(s.rs.chunkNS, chunks)
+	ns := s.rs.chunkNS
+	parfor(m, w, func(lo, hi int) {
+		t := time.Now()
+		s.stepSlice(r, lo, hi)
+		ns[lo/chunk] = time.Since(t).Nanoseconds()
+	})
+	var sum int64
+	for _, d := range ns[:chunks] {
+		if d > maxNS {
+			maxNS = d
+		}
+		sum += d
+	}
+	return w, maxNS, sum / int64(chunks)
+}
+
+// sentTotal sums the cumulative per-node send counters. It runs once per
+// round on the probed path only; the plain path keeps its single
+// end-of-run collection sweep.
+func (s *simulation) sentTotal() int64 {
+	var total int64
+	for _, nd := range s.nodes {
+		if nd != nil {
+			total += nd.sent
+		}
+	}
+	return total
+}

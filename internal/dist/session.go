@@ -246,7 +246,10 @@ type session struct {
 // topology returns the cached wiring for the given filters, building and
 // publishing it on a miss. Filters equivalent to no filter (uniform
 // labels, all-true active) are normalized to the unfiltered topology.
-func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers int) *topology {
+// hit reports whether the wiring came out of the cache (the session
+// event RunRecord.TopoCached surfaces); a build that loses a publish
+// race still counts as a miss - the sweep was paid.
+func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers int) (t *topology, hit bool) {
 	if labels != nil && uniformInts(labels) {
 		labels = nil
 	}
@@ -255,10 +258,10 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 	}
 	if labels == nil && active == nil {
 		sc.mu.Lock()
-		t := sc.unfiltered
+		t = sc.unfiltered
 		sc.mu.Unlock()
 		if t != nil {
-			return t
+			return t, true
 		}
 		t = buildUnfiltered(g, workers)
 		sc.mu.Lock()
@@ -268,7 +271,7 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 			t = sc.unfiltered // a concurrent build won the race
 		}
 		sc.mu.Unlock()
-		return t
+		return t, false
 	}
 	h := filterHash(labels, active)
 	sc.mu.Lock()
@@ -277,13 +280,13 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 	for _, e := range sc.filtered {
 		if e.hash == h && slices.Equal(e.labels, labels) && slices.Equal(e.active, active) {
 			e.tick = tick
-			t := e.topo
+			t = e.topo
 			sc.mu.Unlock()
-			return t
+			return t, true
 		}
 	}
 	sc.mu.Unlock()
-	t := buildFiltered(g, labels, active, workers)
+	t = buildFiltered(g, labels, active, workers)
 	e := &topoEntry{
 		hash:   h,
 		labels: slices.Clone(labels),
@@ -300,7 +303,7 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 			x.tick = tick
 			t = x.topo
 			sc.mu.Unlock()
-			return t
+			return t, false
 		}
 	}
 	if len(sc.filtered) < maxFilteredTopologies {
@@ -315,7 +318,7 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 		sc.filtered[oldest] = e
 	}
 	sc.mu.Unlock()
-	return t
+	return t, false
 }
 
 // runScratch is the pooled mutable state of one run. One run borrows the
@@ -338,17 +341,23 @@ type runScratch struct {
 	counts []int
 	starts []int
 	sums   []int64
+	// chunkNS holds the per-chunk step timings of a probed run
+	// (probe.go); unused and nil on unprobed runs.
+	chunkNS []int64
 }
 
-func (sc *session) borrowRun() *runScratch {
+// borrowRun returns the pooled scratch bundle (pooled=true) or a fresh
+// one when the pool is busy or cold - the session event
+// RunRecord.ScratchPooled surfaces the distinction.
+func (sc *session) borrowRun() (rs *runScratch, pooled bool) {
 	sc.mu.Lock()
-	rs := sc.run
+	rs = sc.run
 	sc.run = nil
 	sc.mu.Unlock()
 	if rs == nil {
-		rs = new(runScratch)
+		return new(runScratch), false
 	}
-	return rs
+	return rs, true
 }
 
 func (sc *session) releaseRun(rs *runScratch) {

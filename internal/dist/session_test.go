@@ -88,6 +88,7 @@ func sessionGraph(t *testing.T, seed int64) (*graph.Graph, *rand.Rand) {
 // (which reclaim the pooled output column) cannot disturb it.
 func snapshotResult(res *Result) *Result {
 	c := *res
+	c.Wall = 0 // host wall time, not deterministic
 	if res.OutputWords != nil {
 		c.OutputWords = append([]int64(nil), res.OutputWords...)
 	}
@@ -171,22 +172,25 @@ func TestTopologyCacheReuseAndNormalization(t *testing.T) {
 	net := NewNetwork(g)
 	sess := net.sess
 
-	unf := sess.topology(g, nil, nil, 1)
-	if got := sess.topology(g, nil, nil, 1); got != unf {
+	unf, hit := sess.topology(g, nil, nil, 1)
+	if hit {
+		t.Fatal("first unfiltered build reported a cache hit")
+	}
+	if got, hit := sess.topology(g, nil, nil, 1); got != unf || !hit {
 		t.Fatal("unfiltered topology rebuilt on second use")
 	}
 	uniform := make([]int, n)
 	for v := range uniform {
 		uniform[v] = 9
 	}
-	if got := sess.topology(g, uniform, nil, 1); got != unf {
+	if got, hit := sess.topology(g, uniform, nil, 1); got != unf || !hit {
 		t.Fatal("uniform labels did not normalize to the unfiltered topology")
 	}
 	allOn := make([]bool, n)
 	for v := range allOn {
 		allOn[v] = true
 	}
-	if got := sess.topology(g, nil, allOn, 1); got != unf {
+	if got, hit := sess.topology(g, nil, allOn, 1); got != unf || !hit {
 		t.Fatal("all-true active mask did not normalize to the unfiltered topology")
 	}
 
@@ -194,20 +198,23 @@ func TestTopologyCacheReuseAndNormalization(t *testing.T) {
 	for v := range labels {
 		labels[v] = rng.Intn(3)
 	}
-	f1 := sess.topology(g, labels, nil, 1)
+	f1, hit := sess.topology(g, labels, nil, 1)
+	if hit {
+		t.Fatal("first filtered build reported a cache hit")
+	}
 	if f1 == unf {
 		t.Fatal("filtered topology aliased the unfiltered one")
 	}
-	if got := sess.topology(g, labels, nil, 1); got != f1 {
+	if got, hit := sess.topology(g, labels, nil, 1); got != f1 || !hit {
 		t.Fatal("filtered topology rebuilt despite identical filters")
 	}
 	// Same slice, different content: must be a different topology.
 	labels[0] += 17
-	if got := sess.topology(g, labels, nil, 1); got == f1 {
+	if got, _ := sess.topology(g, labels, nil, 1); got == f1 {
 		t.Fatal("content change in a reused labels slice hit the stale cache entry")
 	}
 	labels[0] -= 17
-	if got := sess.topology(g, labels, nil, 1); got != f1 {
+	if got, hit := sess.topology(g, labels, nil, 1); got != f1 || !hit {
 		t.Fatal("restored labels missed the cache")
 	}
 

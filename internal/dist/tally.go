@@ -1,10 +1,22 @@
 package dist
 
-// PhaseStat is the cost of one named phase of a multi-stage pipeline.
+import "time"
+
+// PhaseStat is the cost of one named phase of a multi-stage pipeline:
+// the LOCAL measures (rounds, messages) plus the host-side attribution
+// (wall time of the phase's engine runs, peak live-set size).
 type PhaseStat struct {
 	Name     string
 	Rounds   int
 	Messages int64
+	// Wall is the wall time attributed to the phase - for phases that are
+	// a single engine run, Result.Wall; for composite phases, the sum the
+	// orchestrator recorded. Zero for phases recorded through the legacy
+	// AddRounds (no wall attribution).
+	Wall time.Duration
+	// PeakLive is the largest live-vertex count any of the phase's runs
+	// started with (0 when unattributed).
+	PeakLive int
 }
 
 // Tally accumulates round and message counts across the phases of a
@@ -14,12 +26,28 @@ type Tally struct {
 	phases []PhaseStat
 }
 
-// AddRounds records a phase with the given cost.
+// AddRounds records a phase with the given LOCAL cost and no wall
+// attribution. Phases with measured wall time use AddPhase.
 func (t *Tally) AddRounds(name string, rounds int, messages int64) {
 	t.phases = append(t.phases, PhaseStat{Name: name, Rounds: rounds, Messages: messages})
 }
 
-// Merge appends every phase of other (nil-safe) to t.
+// AddPhase records a phase with full attribution: LOCAL cost plus wall
+// time and peak live-set size.
+func (t *Tally) AddPhase(name string, rounds int, messages int64, wall time.Duration, peakLive int) {
+	t.phases = append(t.phases, PhaseStat{
+		Name: name, Rounds: rounds, Messages: messages, Wall: wall, PeakLive: peakLive,
+	})
+}
+
+// AddStats is AddPhase taking an engine RunStats, for phases that are
+// exactly one engine run.
+func (t *Tally) AddStats(name string, st RunStats) {
+	t.AddPhase(name, st.Rounds, st.Messages, st.Wall, st.PeakLive)
+}
+
+// Merge appends every phase of other (nil-safe) to t. Phases are copied
+// whole, so wall and peak-live attribution survives merging.
 func (t *Tally) Merge(other *Tally) {
 	if other == nil {
 		return
@@ -46,7 +74,38 @@ func (t *Tally) Messages() int64 {
 	return total
 }
 
+// Wall returns the total attributed wall time across all phases. Phases
+// recorded with AddRounds contribute zero.
+func (t *Tally) Wall() time.Duration {
+	var total time.Duration
+	for _, p := range t.phases {
+		total += p.Wall
+	}
+	return total
+}
+
+// PeakLive returns the largest per-phase peak live-set size.
+func (t *Tally) PeakLive() int {
+	peak := 0
+	for _, p := range t.phases {
+		if p.PeakLive > peak {
+			peak = p.PeakLive
+		}
+	}
+	return peak
+}
+
+// NumPhases returns the number of recorded phases.
+func (t *Tally) NumPhases() int { return len(t.phases) }
+
+// Phase returns the i'th recorded phase. Together with NumPhases it is
+// the allocation-free iteration path; Phases allocates a fresh copy per
+// call and belongs in one-shot reporting code, not hot summarizer loops.
+func (t *Tally) Phase(i int) PhaseStat { return t.phases[i] }
+
 // Phases returns a copy of the per-phase breakdown in recording order.
+// Every call allocates a fresh slice (callers own and may mutate it);
+// loops that only read should iterate NumPhases/Phase instead.
 func (t *Tally) Phases() []PhaseStat {
 	return append([]PhaseStat(nil), t.phases...)
 }

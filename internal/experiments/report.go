@@ -67,6 +67,14 @@ type Record struct {
 	// bit-for-bit identical at every point.
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	Workers    int `json:"workers,omitempty"`
+	// GoVersion is runtime.Version() of the process that produced the
+	// record; Timestamp is an RFC3339 stamp the harness passes in
+	// (ScaleOptions.Timestamp - the engine never reads the clock for
+	// record content, keeping runs replayable); TracePath points at the
+	// round-level JSONL trace when one was recorded alongside.
+	GoVersion string `json:"go_version,omitempty"`
+	Timestamp string `json:"timestamp,omitempty"`
+	TracePath string `json:"trace_path,omitempty"`
 }
 
 // NewRecord converts a row into its machine-readable form.

@@ -50,6 +50,15 @@ type ScaleOptions struct {
 	// paces the worker pool, which is what the -scale-procs speedup
 	// sweep measures.
 	Workers int
+	// Probe, when non-nil, is attached to the measured coloring run
+	// (dist.Network.WithProbe), tracing every engine round of every
+	// phase. The caller owns the probe's lifecycle (Close after the run).
+	Probe *dist.Probe
+	// TracePath and Timestamp annotate the emitted Record: where the
+	// probe's JSONL trace went, and the harness-supplied RFC3339 run
+	// stamp. Neither affects the computation.
+	TracePath string
+	Timestamp string
 }
 
 func (o *ScaleOptions) normalize() {
@@ -143,6 +152,9 @@ func ScaleSweep(opt ScaleOptions, workers []int) ([]*ScaleResult, error) {
 
 // scaleMeasure runs the measured coloring section on a prepared network.
 func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOptions) (*ScaleResult, error) {
+	if opt.Probe != nil {
+		net = net.WithProbe(opt.Probe)
+	}
 	// Allocation accounting brackets only the coloring run: graph
 	// generation and I/O are measured by their own benchmarks.
 	runtime.GC()
@@ -179,6 +191,9 @@ func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOpt
 		AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
+		GoVersion:  runtime.Version(),
+		Timestamp:  opt.Timestamp,
+		TracePath:  opt.TracePath,
 	}
 	rec.AllocsPerVertex = float64(rec.Mallocs) / float64(g.N())
 	if legalErr != nil {

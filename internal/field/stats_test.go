@@ -1,0 +1,107 @@
+package field
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvalCountersClassification pins Count against RowView's own
+// criterion: x < RowsCached is a table hit, anything else a Horner
+// fallback. A nil counter must be a safe no-op.
+func TestEvalCountersClassification(t *testing.T) {
+	// A first-step-sized family whose row table is partial.
+	fam, err := Families(101, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RowsCached() >= fam.Size() {
+		t.Skipf("family q=101 d=2 fully cached; fallback unreachable")
+	}
+	var c EvalCounters
+	c.Count(fam, 0)
+	c.Count(fam, fam.RowsCached()-1)
+	c.Count(fam, fam.RowsCached())
+	c.Count(fam, fam.Size()-1)
+	if c.Hits() != 2 || c.Fallbacks() != 2 {
+		t.Fatalf("hits=%d fallbacks=%d, want 2/2", c.Hits(), c.Fallbacks())
+	}
+	var nilC *EvalCounters
+	nilC.Count(fam, 0) // must not panic
+	if nilC.Hits() != 0 || nilC.Fallbacks() != 0 {
+		t.Fatal("nil counter reported counts")
+	}
+}
+
+// TestEvalCountersConcurrent pins exactness under concurrency (run with
+// -race): N goroutines of K counts each must sum to exactly N*K.
+func TestEvalCountersConcurrent(t *testing.T) {
+	fam, err := Families(23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c EvalCounters
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Count(fam, (seed*per+j)%fam.Size())
+			}
+		}(i)
+	}
+	wg.Wait()
+	if total := c.Hits() + c.Fallbacks(); total != goroutines*per {
+		t.Fatalf("total %d, want %d", total, goroutines*per)
+	}
+}
+
+// TestEvalStatsRegistry pins the process-wide registry: disabled lookups
+// return nil, enabled lookups share per-key counters, snapshots sort by
+// (step, q, d), reset drops everything.
+func TestEvalStatsRegistry(t *testing.T) {
+	defer func() {
+		SetEvalStats(false)
+		ResetEvalStats()
+	}()
+	SetEvalStats(false)
+	ResetEvalStats()
+	if c := StepCounters(0, 23, 1); c != nil {
+		t.Fatal("disabled StepCounters returned a counter")
+	}
+	SetEvalStats(true)
+	if !EvalStatsEnabled() {
+		t.Fatal("enable did not stick")
+	}
+	a := StepCounters(1, 23, 1)
+	b := StepCounters(1, 23, 1)
+	if a == nil || a != b {
+		t.Fatal("same key resolved to different counters")
+	}
+	other := StepCounters(0, 29, 2)
+	fam, err := Families(23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Count(fam, 0)
+	a.Count(fam, 1)
+	snap := EvalStatsSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Step != 0 || snap[0].Q != 29 || snap[1].Step != 1 || snap[1].Q != 23 {
+		t.Fatalf("snapshot not sorted by (step, q, d): %+v", snap)
+	}
+	if snap[1].Hits != 2 || snap[1].Total() != 2 {
+		t.Fatalf("counted entry %+v, want 2 hits", snap[1])
+	}
+	if snap[0].Total() != 0 || snap[0].HitRate() != 1 {
+		t.Fatalf("untouched entry %+v, want total 0 / hit-rate 1", snap[0])
+	}
+	_ = other
+	ResetEvalStats()
+	if len(EvalStatsSnapshot()) != 0 {
+		t.Fatal("reset left counters behind")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dist"
 )
@@ -54,6 +55,11 @@ type HPartition struct {
 	Degree   int
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive are host-side observability figures (engine wall
+	// time of the peeling run and its initial live-set size); they are not
+	// deterministic and not part of the algorithmic result.
+	Wall     time.Duration
+	PeakLive int
 }
 
 // hpartitionAlgo implements the peeling: every active vertex beacons each
@@ -166,6 +172,8 @@ func ComputeHPartition(net *dist.Network, a int, eps Eps, labels []int, active [
 		Degree:    threshold,
 		Rounds:    res.Rounds,
 		Messages:  res.Messages,
+		Wall:      res.Wall,
+		PeakLive:  res.PeakLive,
 	}, nil
 }
 

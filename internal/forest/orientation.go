@@ -2,6 +2,7 @@ package forest
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -109,6 +110,15 @@ type OrientResult struct {
 	Sigma    *graph.Orientation
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive are host-side observability figures; see
+	// HPartition.
+	Wall     time.Duration
+	PeakLive int
+}
+
+// Stats returns the run-stat view of the orientation cost.
+func (r *OrientResult) Stats() dist.RunStats {
+	return dist.RunStats{Rounds: r.Rounds, Messages: r.Messages, Wall: r.Wall, PeakLive: r.PeakLive}
 }
 
 // OrientByLevelKey runs the one-round orientation exchange. levels and keys
@@ -153,7 +163,7 @@ func OrientByLevelKey(net *dist.Network, levels, keys []int, labels []int, activ
 		if orientErr != nil {
 			return nil, orientErr
 		}
-		return &OrientResult{Sigma: sigma, Rounds: res.Rounds, Messages: res.Messages}, nil
+		return &OrientResult{Sigma: sigma, Rounds: res.Rounds, Messages: res.Messages, Wall: res.Wall, PeakLive: res.PeakLive}, nil
 	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -194,5 +204,9 @@ func CompleteAcyclicOrientation(net *dist.Network, a int, eps Eps) (*OrientResul
 		return nil, nil, err
 	}
 	or.Rounds += hp.Rounds
+	or.Wall += hp.Wall
+	if hp.PeakLive > or.PeakLive {
+		or.PeakLive = hp.PeakLive
+	}
 	return or, hp, nil
 }

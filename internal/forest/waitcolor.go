@@ -3,6 +3,7 @@ package forest
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -249,6 +250,15 @@ type WaitColorResult struct {
 	Colors   []int
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive are host-side observability figures; see
+	// HPartition.
+	Wall     time.Duration
+	PeakLive int
+}
+
+// Stats returns the run-stat view of the wait-color cost.
+func (r *WaitColorResult) Stats() dist.RunStats {
+	return dist.RunStats{Rounds: r.Rounds, Messages: r.Messages, Wall: r.Wall, PeakLive: r.PeakLive}
 }
 
 // WaitColor runs the engine over an orientation. palette is the number of
@@ -289,7 +299,7 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 		if err := dist.IntsFromWords(res, colors); err != nil {
 			return nil, err
 		}
-		return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages}, nil
+		return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages, Wall: res.Wall, PeakLive: res.PeakLive}, nil
 	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -325,5 +335,5 @@ func WaitColor(net *dist.Network, sigma *graph.Orientation, palette int, rule Ch
 			return nil, fmt.Errorf("forest: vertex %d unexpected output %T", v, o)
 		}
 	}
-	return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages}, nil
+	return &WaitColorResult{Colors: colors, Rounds: res.Rounds, Messages: res.Messages, Wall: res.Wall, PeakLive: res.PeakLive}, nil
 }

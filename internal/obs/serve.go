@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/field"
+)
+
+// The live-introspection endpoint: a private mux (the default
+// http.DefaultServeMux stays untouched) exposing
+//
+//	/debug/vars        - expvar JSON, including the published probe
+//	                     totals and eval-stat snapshot below
+//	/debug/pprof/...   - the standard runtime profiles
+//
+// Publish* register into the process-global expvar namespace, which
+// forbids duplicate names; a sync.Once per name keeps repeated pipeline
+// invocations in one process safe.
+
+var (
+	publishEvalOnce  sync.Once
+	publishProbeOnce sync.Once
+	probeMu          sync.Mutex
+	probeVar         *dist.Probe
+)
+
+// PublishEvalStats exposes the field-evaluation counters as the expvar
+// "coloring.evals": a JSON array snapshot recomputed per scrape.
+func PublishEvalStats() {
+	publishEvalOnce.Do(func() {
+		expvar.Publish("coloring.evals", expvar.Func(func() any {
+			return field.EvalStatsSnapshot()
+		}))
+	})
+}
+
+// PublishProbe exposes p's running totals as the expvar
+// "coloring.probe". Later calls swap the probe being scraped (the
+// expvar name persists process-wide).
+func PublishProbe(p *dist.Probe) {
+	probeMu.Lock()
+	probeVar = p
+	probeMu.Unlock()
+	publishProbeOnce.Do(func() {
+		expvar.Publish("coloring.probe", expvar.Func(func() any {
+			probeMu.Lock()
+			cur := probeVar
+			probeMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			return cur.Totals()
+		}))
+	})
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0"), returning the bound listener address. The server runs
+// on a background goroutine for the life of the process; it exists for
+// -serve runs that want live scraping, not graceful shutdown.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: serve: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"vars":  "/debug/vars",
+			"pprof": "/debug/pprof/",
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,148 @@
+// Package obs is the host-side observability surface of the coloring
+// pipeline: a JSONL trace sink for the engine's dist.Probe records, a
+// trace reader/summarizer for offline analysis (cmd/colortrace), and a
+// live introspection endpoint (expvar + pprof) for long runs.
+//
+// The package deliberately sits outside internal/dist: the engine emits
+// fixed-width records through the narrow dist.ProbeSink interface and
+// never learns about JSON, files or HTTP.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/field"
+)
+
+// Line envelopes: every trace line is one JSON object whose "t" field
+// names the record type, so readers can dispatch without trial decoding
+// and the format can grow new record types without breaking old readers.
+type roundLine struct {
+	T string `json:"t"`
+	dist.RoundRecord
+}
+
+type runLine struct {
+	T string `json:"t"`
+	dist.RunRecord
+}
+
+type evalsLine struct {
+	T     string           `json:"t"`
+	Evals []field.EvalStat `json:"evals"`
+}
+
+// TraceWriter is a dist.ProbeSink writing one JSON object per line:
+// {"t":"round",...} per engine round, {"t":"run",...} per engine run,
+// and optionally one {"t":"evals",...} snapshot of the field-evaluation
+// counters. Writes are buffered and mutexed; the probe's single flusher
+// goroutine and the owner's WriteEvalStats/Close may interleave safely.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	c      io.Closer // non-nil when the writer owns the underlying file
+	err    error
+	rounds int64
+	runs   int64
+}
+
+// NewTraceWriter wraps w. The caller keeps ownership of w; Close only
+// flushes.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// CreateTrace creates (truncating) the trace file at path. Close flushes
+// and closes the file.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace: %w", err)
+	}
+	tw := NewTraceWriter(f)
+	tw.c = f
+	return tw, nil
+}
+
+// writeLine encodes one record under the mutex, remembering the first
+// error (the probe's flusher has no error path, so failures surface at
+// Close).
+func (t *TraceWriter) writeLine(v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.WriteByte('\n')
+}
+
+// FlushRounds implements dist.ProbeSink. The slice is reused by the
+// probe after return; records are encoded before returning.
+func (t *TraceWriter) FlushRounds(recs []dist.RoundRecord) {
+	for _, r := range recs {
+		t.writeLine(roundLine{T: "round", RoundRecord: r})
+	}
+	t.mu.Lock()
+	t.rounds += int64(len(recs))
+	t.mu.Unlock()
+}
+
+// FlushRuns implements dist.ProbeSink.
+func (t *TraceWriter) FlushRuns(recs []dist.RunRecord) {
+	for _, r := range recs {
+		t.writeLine(runLine{T: "run", RunRecord: r})
+	}
+	t.mu.Lock()
+	t.runs += int64(len(recs))
+	t.mu.Unlock()
+}
+
+// WriteEvalStats appends a field-evaluation snapshot line. Call it after
+// the probe is Closed so the snapshot lands after every run it covers.
+func (t *TraceWriter) WriteEvalStats(stats []field.EvalStat) {
+	if len(stats) == 0 {
+		return
+	}
+	t.writeLine(evalsLine{T: "evals", Evals: stats})
+}
+
+// Counts reports the number of round and run records written so far.
+func (t *TraceWriter) Counts() (rounds, runs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rounds, t.runs
+}
+
+// Close flushes the buffer (and closes the file when the writer owns
+// one), returning the first error encountered anywhere in the writer's
+// lifetime. Close the attached probe first: the probe's Close blocks
+// until its flusher has delivered every record.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ferr := t.bw.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	return t.err
+}

@@ -60,7 +60,7 @@ func Partial(net *dist.Network, a, t int, eps forest.Eps, labels []int, active [
 	if t < 1 {
 		return nil, fmt.Errorf("orient: t must be >= 1, got %d", t)
 	}
-	return run(net, a, eps, labels, active, func(levelLabels []int) ([]int, int, int, int64, error) {
+	return run(net, a, eps, labels, active, func(levelLabels []int) ([]int, int, dist.RunStats, error) {
 		// Step 2 of Algorithm 1: floor(a/t)-defective O(t^2)-coloring of
 		// each G(H_i) in parallel.
 		g := net.Graph()
@@ -70,11 +70,11 @@ func Partial(net *dist.Network, a, t int, eps forest.Eps, labels []int, active [
 		plan := recolor.Plan(n, degBound, target)
 		colors := make([]int, n)
 		p := recolor.Params{Color: -1, M0: n, DegBound: degBound, TargetDefect: target}
-		rounds, msgs, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
+		st, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
 		if err != nil {
-			return nil, 0, 0, 0, err
+			return nil, 0, dist.RunStats{}, err
 		}
-		return colors, plan.FinalColors(), rounds, msgs, nil
+		return colors, plan.FinalColors(), st, nil
 	})
 }
 
@@ -83,7 +83,7 @@ func Partial(net *dist.Network, a, t int, eps forest.Eps, labels []int, active [
 // floor((2+eps)a). The method selects the per-level coloring (see
 // LevelColoring). labels/active restrict to subgraphs.
 func Complete(net *dist.Network, a int, eps forest.Eps, method LevelColoring, labels []int, active []bool) (*Result, error) {
-	return run(net, a, eps, labels, active, func(levelLabels []int) ([]int, int, int, int64, error) {
+	return run(net, a, eps, labels, active, func(levelLabels []int) ([]int, int, dist.RunStats, error) {
 		g := net.Graph()
 		n := g.N()
 		degBound := eps.Threshold(a)
@@ -92,19 +92,25 @@ func Complete(net *dist.Network, a int, eps forest.Eps, method LevelColoring, la
 			plan := recolor.Plan(n, degBound, 0)
 			colors := make([]int, n)
 			p := recolor.Params{Color: -1, M0: n, DegBound: degBound, TargetDefect: 0}
-			rounds, msgs, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
+			st, err := recolor.RunUniform(net, p, nil, levelLabels, active, colors)
 			if err != nil {
-				return nil, 0, 0, 0, err
+				return nil, 0, dist.RunStats{}, err
 			}
-			return colors, plan.FinalColors(), rounds, msgs, nil
+			return colors, plan.FinalColors(), st, nil
 		case LevelDeltaPlusOne:
 			dres, err := deltacolor.ColorWithin(net, levelLabels, active, degBound)
 			if err != nil {
-				return nil, 0, 0, 0, err
+				return nil, 0, dist.RunStats{}, err
 			}
-			return dres.Colors, dres.Palette, dres.Tally.Rounds(), dres.Tally.Messages(), nil
+			st := dist.RunStats{
+				Rounds:   dres.Tally.Rounds(),
+				Messages: dres.Tally.Messages(),
+				Wall:     dres.Tally.Wall(),
+				PeakLive: dres.Tally.PeakLive(),
+			}
+			return dres.Colors, dres.Palette, st, nil
 		default:
-			return nil, 0, 0, 0, fmt.Errorf("orient: unknown level coloring %d", method)
+			return nil, 0, dist.RunStats{}, fmt.Errorf("orient: unknown level coloring %d", method)
 		}
 	})
 }
@@ -113,31 +119,34 @@ func Complete(net *dist.Network, a int, eps forest.Eps, method LevelColoring, la
 // coloring within (label x level) classes, then the (level, color)
 // orientation exchange.
 func run(net *dist.Network, a int, eps forest.Eps, labels []int, active []bool,
-	colorLevels func(levelLabels []int) (colors []int, palette, rounds int, msgs int64, err error),
+	colorLevels func(levelLabels []int) (colors []int, palette int, st dist.RunStats, err error),
 ) (*Result, error) {
 	var tally dist.Tally
 
+	net.Probe().SetPhase("orient/h-partition")
 	hp, err := forest.ComputeHPartition(net, a, eps, labels, active)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("h-partition", hp.Rounds, hp.Messages)
+	tally.AddPhase("h-partition", hp.Rounds, hp.Messages, hp.Wall, hp.PeakLive)
 
 	levelLabels := hp.Level
 	if labels != nil {
 		levelLabels = dist.ComposeLabels(labels, hp.Level)
 	}
-	colors, palette, rounds, msgs, err := colorLevels(levelLabels)
+	net.Probe().SetPhase("orient/level-coloring")
+	colors, palette, st, err := colorLevels(levelLabels)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("level-coloring", rounds, msgs)
+	tally.AddStats("level-coloring", st)
 
+	net.Probe().SetPhase("orient/orientation")
 	or, err := forest.OrientByLevelKey(net, hp.Level, colors, labels, active)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRounds("orientation", or.Rounds, or.Messages)
+	tally.AddStats("orientation", or.Stats())
 
 	return &Result{
 		Sigma:        or.Sigma,

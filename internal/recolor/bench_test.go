@@ -32,7 +32,7 @@ func BenchmarkRecolorOnce(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc.recolorOnce(fam, benchColor, conflicts)
+		sc.recolorOnce(fam, benchColor, conflicts, nil)
 	}
 }
 
@@ -60,7 +60,7 @@ func BenchmarkRecolorOnceFirstStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc.recolorOnce(fam, 54321, conflicts)
+		sc.recolorOnce(fam, 54321, conflicts, nil)
 	}
 }
 

@@ -63,9 +63,9 @@ func TestRecolorOnceZeroAllocs(t *testing.T) {
 		sc.grow(step.Q)
 		conflicts := []int{3, 88, 121, 40, 501 % fam.Size(), 3, 77, 250, 311, 40}
 		x := 333 % fam.Size()
-		sc.recolorOnce(fam, x, conflicts) // warm up
+		sc.recolorOnce(fam, x, conflicts, nil) // warm up
 		allocs := testing.AllocsPerRun(100, func() {
-			sc.recolorOnce(fam, x, conflicts)
+			sc.recolorOnce(fam, x, conflicts, nil)
 		})
 		if allocs != 0 {
 			t.Errorf("step %+v: %v allocs/op in steady state, want 0", step, allocs)
@@ -90,9 +90,9 @@ func TestRecolorOnceZeroAllocsBeyondRowTable(t *testing.T) {
 	sc.grow(step.Q)
 	x := fam.RowsCached() + 41
 	conflicts := []int{fam.RowsCached() + 7, 12, fam.Size() - 1, fam.RowsCached() + 7}
-	sc.recolorOnce(fam, x, conflicts)
+	sc.recolorOnce(fam, x, conflicts, nil)
 	allocs := testing.AllocsPerRun(100, func() {
-		sc.recolorOnce(fam, x, conflicts)
+		sc.recolorOnce(fam, x, conflicts, nil)
 	})
 	if allocs != 0 {
 		t.Errorf("fallback path: %v allocs/op, want 0", allocs)

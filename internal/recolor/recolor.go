@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/field"
@@ -64,6 +65,10 @@ type Algo struct {
 	// fams is the memoized family of every schedule step, resolved once
 	// by NewAlgo and shared read-only by all nodes.
 	fams []*field.Family
+	// stats holds the shared per-step eval counters when process-wide
+	// stats are on (field.SetEvalStats); nil otherwise, so the hot path
+	// pays only a nil check.
+	stats []*field.EvalCounters
 	// maxQ sizes the per-worker step scratch.
 	maxQ int
 	// pool recycles step scratch across Step calls; sync.Pool keeps the
@@ -86,11 +91,12 @@ func NewAlgo(p Params, arb bool) (Algo, error) {
 		}
 	}
 	return Algo{
-		P:    p,
-		arb:  arb,
-		fams: stepFamilies(plan),
-		maxQ: maxQ,
-		pool: &sync.Pool{New: func() any { return new(wordScratch) }},
+		P:     p,
+		arb:   arb,
+		fams:  stepFamilies(plan),
+		stats: stepEvalCounters(plan),
+		maxQ:  maxQ,
+		pool:  &sync.Pool{New: func() any { return new(wordScratch) }},
 	}, nil
 }
 
@@ -113,11 +119,22 @@ func (Algo) OutputWidth() int { return 1 }
 
 type nodeState struct {
 	plan      Schedule
-	fams      []*field.Family // memoized family per step, shared process-wide
+	fams      []*field.Family       // memoized family per step, shared process-wide
+	stats     []*field.EvalCounters // shared per-step eval counters; nil when off
 	color     int
 	step      int
 	conflicts []int // reused inbox filter buffer
 	scratch   stepScratch
+}
+
+// counter returns the shared eval counter of the given step, or nil when
+// stats are off - the stats slice is only built when counting is
+// enabled, so the common case is a single nil check.
+func counter(stats []*field.EvalCounters, step int) *field.EvalCounters {
+	if stats == nil {
+		return nil
+	}
+	return stats[step]
 }
 
 // stepScratch holds the per-node reusable buffers of the recoloring step
@@ -197,6 +214,7 @@ func initNode(n *dist.Node) (int, bool) {
 	st := &nodeState{
 		plan:  plan,
 		fams:  stepFamilies(plan),
+		stats: stepEvalCounters(plan),
 		color: color,
 	}
 	if in.TargetDefect >= in.DegBound {
@@ -237,6 +255,21 @@ func stepFamilies(plan Schedule) []*field.Family {
 		fams[i] = fam
 	}
 	return fams
+}
+
+// stepEvalCounters resolves the shared per-step eval counters of the
+// schedule when process-wide stats are enabled (field.SetEvalStats);
+// nil otherwise. Resolving once per algorithm construction keeps the
+// registry lock out of the step loop.
+func stepEvalCounters(plan Schedule) []*field.EvalCounters {
+	if len(plan.Steps) == 0 || !field.EvalStatsEnabled() {
+		return nil
+	}
+	cs := make([]*field.EvalCounters, len(plan.Steps))
+	for i, step := range plan.Steps {
+		cs[i] = field.StepCounters(i, step.Q, step.D)
+	}
+	return cs
 }
 
 // Step executes one recoloring round.
@@ -291,7 +324,7 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 		conflicts = append(conflicts, int(inbox.Word(p)))
 	}
 	step := n.Round() - 1
-	color := sc.recolorOnce(a.fams[step], int(n.OutputWords()[0]), conflicts)
+	color := sc.recolorOnce(a.fams[step], int(n.OutputWords()[0]), conflicts, counter(a.stats, step))
 	sc.conflicts = conflicts
 	a.pool.Put(sc)
 	n.SetOutputWord(int64(color))
@@ -306,7 +339,7 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 // either finishes the node (announce=false) or returns the new color the
 // caller must broadcast.
 func advance(n *dist.Node, st *nodeState) (int, bool) {
-	st.color = st.scratch.recolorOnce(st.fams[st.step], st.color, st.conflicts)
+	st.color = st.scratch.recolorOnce(st.fams[st.step], st.color, st.conflicts, counter(st.stats, st.step))
 	st.step++
 	if st.step < len(st.plan.Steps) {
 		return st.color, true
@@ -321,9 +354,12 @@ func advance(n *dist.Node, st *nodeState) (int, bool) {
 // It sorts conflictColors in place to weight each distinct color by its
 // multiplicity (agreement counts are per neighbor) while materializing
 // every row at most once, and performs no allocations: rows are views
-// into the family's precomputed table or the scratch buffers.
-func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []int) int {
+// into the family's precomputed table or the scratch buffers. ec, when
+// non-nil, counts every row materialization as a table hit or Horner
+// fallback (field.SetEvalStats) - exactly one count per RowView call.
+func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []int, ec *field.EvalCounters) int {
 	q := fam.Q()
+	ec.Count(fam, x)
 	myRow := fam.RowView(x, sc.myRow)
 	agrees := sc.agrees[:q]
 	clear(agrees)
@@ -339,6 +375,7 @@ func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []in
 		if y == x {
 			continue // same-colored neighbors carry over (Appendix B)
 		}
+		ec.Count(fam, y)
 		row := fam.RowView(y, sc.nbrRow)
 		for alpha := 0; alpha < q; alpha++ {
 			if row[alpha] == myRow[alpha] {
@@ -366,7 +403,7 @@ func recolorOnce(step Step, x int, conflictColors []int) int {
 	var sc stepScratch
 	sc.grow(step.Q)
 	conflicts := append([]int(nil), conflictColors...)
-	return sc.recolorOnce(fam, x, conflicts)
+	return sc.recolorOnce(fam, x, conflicts, nil)
 }
 
 // Result reports a whole-graph recoloring run.
@@ -375,6 +412,10 @@ type Result struct {
 	Schedule Schedule
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive attribute the engine run host-side (see
+	// dist.Result); Wall is not deterministic.
+	Wall     time.Duration
+	PeakLive int
 }
 
 // RunUniform executes the recoloring program with the uniform
@@ -384,16 +425,18 @@ type Result struct {
 // same filters - selects the arbdefective variant when non-nil. It
 // takes the typed word path when the network resolves to the batch
 // transport and the boxed []any fallback otherwise, so forcing
-// dist.DeliveryBoxed on the network shadows the whole phase.
-func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int, active []bool, dst []int) (rounds int, messages int64, err error) {
+// dist.DeliveryBoxed on the network shadows the whole phase. The
+// returned RunStats carries the LOCAL cost plus the engine run's wall
+// time and peak live-set size for phase attribution.
+func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int, active []bool, dst []int) (dist.RunStats, error) {
 	g := net.Graph()
 	n := g.N()
 	if len(dst) != n {
-		return 0, 0, fmt.Errorf("recolor: %d color slots for %d vertices", len(dst), n)
+		return dist.RunStats{}, fmt.Errorf("recolor: %d color slots for %d vertices", len(dst), n)
 	}
 	algo, err := NewAlgo(p, parentPorts != nil)
 	if err != nil {
-		return 0, 0, err
+		return dist.RunStats{}, err
 	}
 	if net.WordIO(algo) {
 		var inWords []int64
@@ -411,12 +454,12 @@ func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int,
 		}
 		res, err := net.RunWords(algo, dist.RunOptions{InputWords: inWords, Labels: labels, Active: active})
 		if err != nil {
-			return 0, 0, err
+			return dist.RunStats{}, err
 		}
 		if err := dist.IntsFromWords(res, dst); err != nil {
-			return 0, 0, err
+			return dist.RunStats{}, err
 		}
-		return res.Rounds, res.Messages, nil
+		return res.Stats(), nil
 	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -428,14 +471,14 @@ func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int,
 	}
 	res, err := net.Run(algo, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
 	if err != nil {
-		return 0, 0, err
+		return dist.RunStats{}, err
 	}
 	colors, err := dist.IntOutputs(res, 0)
 	if err != nil {
-		return 0, 0, err
+		return dist.RunStats{}, err
 	}
 	copy(dst, colors)
-	return res.Rounds, res.Messages, nil
+	return res.Stats(), nil
 }
 
 // run executes the algorithm with uniform inputs on all (active) vertices.
@@ -446,15 +489,17 @@ func run(net *dist.Network, in Input, parentPorts [][]bool) (Result, error) {
 	}
 	colors := make([]int, net.Graph().N())
 	p := Params{Color: in.Color, M0: in.M0, DegBound: in.DegBound, TargetDefect: in.TargetDefect}
-	rounds, msgs, err := RunUniform(net, p, parentPorts, nil, nil, colors)
+	st, err := RunUniform(net, p, parentPorts, nil, nil, colors)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Colors:   colors,
 		Schedule: plan,
-		Rounds:   rounds,
-		Messages: msgs,
+		Rounds:   st.Rounds,
+		Messages: st.Messages,
+		Wall:     st.Wall,
+		PeakLive: st.PeakLive,
 	}, nil
 }
 

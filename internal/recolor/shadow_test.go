@@ -14,19 +14,19 @@ import (
 // fails unless colors, rounds and messages are bit-for-bit identical.
 func shadowRunUniform(t *testing.T, g *graph.Graph, rng *rand.Rand, p Params, parentPorts [][]bool, labels []int, active []bool) []int {
 	t.Helper()
-	run := func(d dist.Delivery) ([]int, int, int64) {
+	run := func(d dist.Delivery) ([]int, dist.RunStats) {
 		net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(42))).WithDelivery(d)
 		dst := make([]int, g.N())
-		rounds, msgs, err := RunUniform(net, p, parentPorts, labels, active, dst)
+		st, err := RunUniform(net, p, parentPorts, labels, active, dst)
 		if err != nil {
 			t.Fatalf("delivery=%v: %v", d, err)
 		}
-		return dst, rounds, msgs
+		return dst, st
 	}
-	word, wr, wm := run(dist.DeliveryBatch)
-	boxed, br, bm := run(dist.DeliveryBoxed)
-	if wr != br || wm != bm {
-		t.Fatalf("planes diverged: word rounds=%d messages=%d, boxed rounds=%d messages=%d", wr, wm, br, bm)
+	word, ws := run(dist.DeliveryBatch)
+	boxed, bs := run(dist.DeliveryBoxed)
+	if ws.Rounds != bs.Rounds || ws.Messages != bs.Messages {
+		t.Fatalf("planes diverged: word rounds=%d messages=%d, boxed rounds=%d messages=%d", ws.Rounds, ws.Messages, bs.Rounds, bs.Messages)
 	}
 	if !reflect.DeepEqual(word, boxed) {
 		t.Fatal("word and boxed colorings diverge")

@@ -1,0 +1,126 @@
+package recolor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/field"
+	"repro/internal/graph"
+)
+
+// TestRecolorOnceCountsExactly pins the per-call accounting of the eval
+// counters against the step's arithmetic: one evaluation for the node's
+// own color plus one per conflict entry that differs from it (same-color
+// entries skip the neighbor row entirely).
+func TestRecolorOnceCountsExactly(t *testing.T) {
+	step := Step{Q: 23, D: 1}
+	fam, err := field.Families(step.Q, step.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc stepScratch
+	sc.grow(step.Q)
+	x := 333
+	conflicts := []int{3, 88, x, 40, x, 77}
+	var c field.EvalCounters
+	sc.recolorOnce(fam, x, conflicts, &c)
+	want := int64(1 + 4) // own row + the 4 conflicts differing from x
+	if got := c.Hits() + c.Fallbacks(); got != want {
+		t.Fatalf("counted %d evaluations, want %d", got, want)
+	}
+	if c.Fallbacks() != 0 {
+		t.Fatalf("%d fallbacks on a fully cached family", c.Fallbacks())
+	}
+}
+
+// TestRecolorOnceCountsFallbacks forces the Horner path: function
+// indices at or past the cached row table must land in the fallback
+// bucket, classified exactly as RowView classifies them.
+func TestRecolorOnceCountsFallbacks(t *testing.T) {
+	plan := Plan(100000, 16, 0)
+	step := plan.Steps[0]
+	fam, err := field.Families(step.Q, step.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RowsCached() >= fam.Size() {
+		t.Skipf("step %+v fully cached; fallback not exercised", step)
+	}
+	var sc stepScratch
+	sc.grow(step.Q)
+	x := fam.RowsCached() + 41 // own row: fallback
+	conflicts := []int{12, fam.RowsCached() + 7, fam.Size() - 1}
+	var c field.EvalCounters
+	sc.recolorOnce(fam, x, conflicts, &c)
+	if c.Hits() != 1 || c.Fallbacks() != 3 {
+		t.Fatalf("hits=%d fallbacks=%d, want 1/3", c.Hits(), c.Fallbacks())
+	}
+}
+
+// TestEvalStatsWordMatchesBoxed runs the same RunUniform workload on
+// both delivery planes with counting enabled: the hit/fallback totals
+// per (step, q, d) must be identical - evaluation counts are part of
+// the algorithm, not the transport - and exact under -race (atomic
+// counters across the worker pool).
+func TestEvalStatsWordMatchesBoxed(t *testing.T) {
+	defer func() {
+		field.SetEvalStats(false)
+		field.ResetEvalStats()
+	}()
+	// Low degree relative to n, so the Linial schedule is non-trivial
+	// (Plan is empty once M0 is already within the target space).
+	rng := rand.New(rand.NewSource(61))
+	g := graph.RandomRegularish(1000, 4, rng)
+	n := g.N()
+	p := Params{Color: -1, M0: n, DegBound: g.MaxDegree(), TargetDefect: 0}
+	if len(Plan(p.M0, p.DegBound, p.TargetDefect).Steps) == 0 {
+		t.Fatal("schedule degenerate; pick a sparser test graph")
+	}
+
+	snapshot := func(d dist.Delivery) []field.EvalStat {
+		field.SetEvalStats(true)
+		field.ResetEvalStats()
+		net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(7))).WithDelivery(d)
+		dst := make([]int, n)
+		if _, err := RunUniform(net, p, nil, nil, nil, dst); err != nil {
+			t.Fatalf("delivery=%v: %v", d, err)
+		}
+		return field.EvalStatsSnapshot()
+	}
+	word := snapshot(dist.DeliveryBatch)
+	boxed := snapshot(dist.DeliveryBoxed)
+	if len(word) == 0 {
+		t.Fatal("no counters registered on a counted run")
+	}
+	if !reflect.DeepEqual(word, boxed) {
+		t.Fatalf("eval stats diverge across planes:\nword  %+v\nboxed %+v", word, boxed)
+	}
+	var total int64
+	for _, s := range word {
+		total += s.Total()
+	}
+	if total == 0 {
+		t.Fatal("counted run recorded zero evaluations")
+	}
+}
+
+// TestEvalStatsDisabledCostsNothing pins the opt-out: with stats
+// disabled the algorithm resolves no counters and a run registers
+// nothing.
+func TestEvalStatsDisabledCostsNothing(t *testing.T) {
+	field.SetEvalStats(false)
+	field.ResetEvalStats()
+	rng := rand.New(rand.NewSource(62))
+	g := graph.Gnp(100, 0.05, rng)
+	p := Params{Color: -1, M0: g.N(), DegBound: g.MaxDegree(), TargetDefect: 0}
+	net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(8)))
+	dst := make([]int, g.N())
+	if _, err := RunUniform(net, p, nil, nil, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	if snap := field.EvalStatsSnapshot(); len(snap) != 0 {
+		t.Fatalf("disabled run registered counters: %+v", snap)
+	}
+}

@@ -12,6 +12,7 @@ package reduce
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 )
@@ -326,6 +327,10 @@ type Result struct {
 	Colors   []int
 	Rounds   int
 	Messages int64
+	// Wall and PeakLive attribute the engine run host-side (see
+	// dist.Result); Wall is not deterministic.
+	Wall     time.Duration
+	PeakLive int
 }
 
 // Pool holds the reusable scratch of KWPooled - the per-port
@@ -345,29 +350,34 @@ type Pool struct {
 func KW(net *dist.Network, colors []int, m, target int, labels []int, active []bool) (*Result, error) {
 	out := make([]int, len(colors))
 	var pool Pool
-	rounds, msgs, err := KWPooled(net, colors, m, target, labels, active, &pool, out)
+	st, err := KWPooled(net, colors, m, target, labels, active, &pool, out)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Colors: out, Rounds: rounds, Messages: msgs}, nil
+	return &Result{
+		Colors: out, Rounds: st.Rounds, Messages: st.Messages,
+		Wall: st.Wall, PeakLive: st.PeakLive,
+	}, nil
 }
 
 // KWPooled is KW threading caller-owned scratch: dst (length n) receives
 // the reduced coloring and pool is reused across calls. dst may alias
 // colors - the input column is filled before the run and decoded after.
 // It takes the typed word path when the network resolves to the batch
-// transport and the boxed []any fallback otherwise.
-func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, active []bool, pool *Pool, dst []int) (rounds int, messages int64, err error) {
+// transport and the boxed []any fallback otherwise. The returned
+// RunStats carries the LOCAL cost plus the engine run's wall time and
+// peak live-set size for phase attribution.
+func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, active []bool, pool *Pool, dst []int) (dist.RunStats, error) {
 	g := net.Graph()
 	n := g.N()
 	if len(colors) != n {
-		return 0, 0, fmt.Errorf("reduce: %d colors for %d vertices", len(colors), n)
+		return dist.RunStats{}, fmt.Errorf("reduce: %d colors for %d vertices", len(colors), n)
 	}
 	if len(dst) != n {
-		return 0, 0, fmt.Errorf("reduce: %d color slots for %d vertices", len(dst), n)
+		return dist.RunStats{}, fmt.Errorf("reduce: %d color slots for %d vertices", len(dst), n)
 	}
 	if target < 1 {
-		return 0, 0, fmt.Errorf("reduce: target %d < 1", target)
+		return dist.RunStats{}, fmt.Errorf("reduce: target %d < 1", target)
 	}
 	if net.WordIO(Algo{}) {
 		// Lay out the per-port arena in the engine's column order (served
@@ -404,12 +414,12 @@ func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, acti
 			InputWords: col, Labels: labels, Active: active,
 		})
 		if err != nil {
-			return 0, 0, err
+			return dist.RunStats{}, err
 		}
 		if err := dist.IntsFromWords(res, dst); err != nil {
-			return 0, 0, err
+			return dist.RunStats{}, err
 		}
-		return res.Rounds, res.Messages, nil
+		return res.Stats(), nil
 	}
 	inputs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -417,7 +427,7 @@ func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, acti
 	}
 	res, err := net.Run(Algo{}, dist.RunOptions{Inputs: inputs, Labels: labels, Active: active})
 	if err != nil {
-		return 0, 0, err
+		return dist.RunStats{}, err
 	}
 	for v, o := range res.Outputs {
 		switch x := o.(type) {
@@ -426,12 +436,12 @@ func KWPooled(net *dist.Network, colors []int, m, target int, labels []int, acti
 		case error:
 			// Legacy boxed-plane error smuggling; kept defensively for the
 			// fallback only (the engine's Fail path reports errors now).
-			return 0, 0, fmt.Errorf("reduce: vertex %d: %w", v, x)
+			return dist.RunStats{}, fmt.Errorf("reduce: vertex %d: %w", v, x)
 		case nil:
 			dst[v] = 0
 		default:
-			return 0, 0, fmt.Errorf("reduce: vertex %d unexpected output %T", v, o)
+			return dist.RunStats{}, fmt.Errorf("reduce: vertex %d unexpected output %T", v, o)
 		}
 	}
-	return res.Rounds, res.Messages, nil
+	return res.Stats(), nil
 }
