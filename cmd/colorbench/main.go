@@ -16,6 +16,10 @@
 // per listed core count (GOMAXPROCS and the engine worker pool are both
 // pinned), one record each, and the sweep fails unless every point
 // produces bit-for-bit identical colors, rounds and message counts.
+// -scale-shards records the analogous shard-count curve: one run per
+// listed shard count on the shard-structured engine (count 1 is the
+// flat baseline), same bit-for-bit gate, and a cross-gate against the
+// core-count runs when both sweeps are requested.
 // -cpuprofile/-memprofile capture pprof profiles of any invocation.
 //
 // Usage:
@@ -23,7 +27,7 @@
 //	colorbench [-n vertices] [-seed s] [-exp E07] [-json]
 //	colorbench -scale [-scale-n 1000000] [-scale-a 8] [-scale-p 4]
 //	           [-graph g.bin] [-scale-shadow-n 100000]
-//	           [-scale-procs 1,2,4,8] [-json]
+//	           [-scale-procs 1,2,4,8] [-scale-shards 1,2,4,8] [-json]
 //	colorbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -64,6 +68,7 @@ func run() error {
 	shadowN := flag.Int("scale-shadow-n", 100_000, "scale run: also cross-check batch vs boxed transports at this size (0 disables)")
 	allocBudget := flag.Float64("scale-alloc-budget", 0, "scale run: fail if the full batch run exceeds this many heap allocations per vertex (0 disables)")
 	scaleProcs := flag.String("scale-procs", "", "scale run: comma-separated core counts (e.g. 1,2,4,8); one full run per count with GOMAXPROCS and the worker pool pinned, asserting identical results")
+	scaleShards := flag.String("scale-shards", "", "scale run: comma-separated shard counts (e.g. 1,2,4,8); one full run per count on the shard-structured engine, asserting identical results")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	tracePath := flag.String("trace", "", "scale run: write a round-level JSONL trace of the full-size coloring run to this file (see cmd/colortrace)")
@@ -112,11 +117,15 @@ func run() error {
 	}
 
 	if *scale {
-		procs, err := parseProcs(*scaleProcs)
+		procs, err := parseCounts(*scaleProcs, "-scale-procs", "core")
 		if err != nil {
 			return err
 		}
-		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, *jsonOut, *tracePath, *serveAddr != "")
+		shards, err := parseCounts(*scaleShards, "-scale-shards", "shard")
+		if err != nil {
+			return err
+		}
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, shards, *jsonOut, *tracePath, *serveAddr != "")
 	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
@@ -171,20 +180,21 @@ func run() error {
 	return nil
 }
 
-// parseProcs parses the -scale-procs list ("1,2,4,8") into core counts.
-func parseProcs(s string) ([]int, error) {
+// parseCounts parses a comma-separated positive-count list ("1,2,4,8")
+// for the -scale-procs / -scale-shards sweep flags.
+func parseCounts(s, flagName, what string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
-	var procs []int
+	var counts []int
 	for _, part := range strings.Split(s, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || w < 1 {
-			return nil, fmt.Errorf("-scale-procs: bad core count %q", part)
+			return nil, fmt.Errorf("%s: bad %s count %q", flagName, what, part)
 		}
-		procs = append(procs, w)
+		counts = append(counts, w)
 	}
-	return procs, nil
+	return counts, nil
 }
 
 // runScale executes the scale experiment: an optional batch-vs-boxed
@@ -192,10 +202,13 @@ func parseProcs(s string) ([]int, error) {
 // once with the auto worker heuristic, or (with -scale-procs) once per
 // listed core count with GOMAXPROCS and the engine worker pool pinned,
 // requiring bit-for-bit identical colorings and counters across the
-// sweep. All records go to the JSON-Lines stream (or a readable text
-// line). A nonzero allocBudget gates the full runs' allocs/vertex - the
-// CI regression check for the typed word-I/O plumbing.
-func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs []int, jsonOut bool, tracePath string, serving bool) error {
+// sweep - and (with -scale-shards) one run per listed shard count on
+// the shard-structured engine with the same bit-for-bit gate, cross-
+// gated against the core-count runs. All records go to the JSON-Lines
+// stream (or a readable text line). A nonzero allocBudget gates the
+// (flat) full runs' allocs/vertex - the CI regression check for the
+// typed word-I/O plumbing.
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs, shards []int, jsonOut bool, tracePath string, serving bool) error {
 	// The trace covers the full-size run(s) only: the shadow pair is a
 	// correctness cross-check, and giving it the probe would interleave
 	// its records with the measured run's.
@@ -222,8 +235,8 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 		recs = append(recs, res.Record)
 		if !jsonOut {
 			r := res.Record
-			fmt.Printf("SCALE %-28s %-22s delivery=%-5s procs=%d workers=%d colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB allocs/vertex=%.2f ok=%v\n",
-				r.Workload, r.Params, r.Delivery, r.GoMaxProcs, r.Workers, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.AllocsPerVertex, r.OK)
+			fmt.Printf("SCALE %-28s %-22s delivery=%-5s procs=%d workers=%d shards=%d colors=%d rounds=%d messages=%d palette=%.0f wall=%.0fms mallocs=%d alloc=%.1fMB allocs/vertex=%.2f ok=%v\n",
+				r.Workload, r.Params, r.Delivery, r.GoMaxProcs, r.Workers, r.Shards, r.Colors, r.Rounds, r.Messages, r.Measured, r.WallMS, r.Mallocs, r.AllocMB, r.AllocsPerVertex, r.OK)
 		}
 	}
 
@@ -273,9 +286,13 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	}
 	var fulls []*experiments.ScaleResult
 	var sweepErr error
-	if len(procs) > 0 {
+	switch {
+	case len(procs) > 0:
 		fulls, sweepErr = experiments.ScaleSweep(opt, procs)
-	} else {
+	case len(shards) > 0:
+		// Shard-sweep-only invocation: the shard curve's count-1 point is
+		// the flat baseline, no separate auto run needed.
+	default:
 		full, err := experiments.ScaleRun(opt)
 		if err != nil {
 			if probe != nil {
@@ -290,6 +307,18 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	}
 	for _, full := range fulls {
 		emit(full)
+	}
+
+	// The shard-count curve: same instance and identifier permutation,
+	// one run per shard count on the shard-structured engine, emitted
+	// next to the core-count records.
+	var shardFulls []*experiments.ScaleResult
+	var shardErr error
+	if len(shards) > 0 {
+		shardFulls, shardErr = experiments.ScaleShardSweep(opt, shards)
+		for _, full := range shardFulls {
+			emit(full)
+		}
 	}
 
 	// Seal the trace: flush the probe's ring, append the eval-stat
@@ -318,6 +347,21 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 	}
 	if sweepErr != nil {
 		return sweepErr
+	}
+	if shardErr != nil {
+		return shardErr
+	}
+	// Cross-gate the two curves: a shard-sweep point must reproduce the
+	// core-sweep coloring exactly (both gates already pinned their own
+	// sweeps internally, so comparing the first of each suffices).
+	if len(fulls) > 0 && len(shardFulls) > 0 {
+		a, b := fulls[0].Record, shardFulls[0].Record
+		if !slices.Equal(fulls[0].Colors, shardFulls[0].Colors) ||
+			a.Rounds != b.Rounds || a.Messages != b.Messages {
+			return fmt.Errorf(
+				"scale shard sweep diverges from core sweep (colors/rounds/messages %d/%d/%d vs %d/%d/%d)",
+				b.Colors, b.Rounds, b.Messages, a.Colors, a.Rounds, a.Messages)
+		}
 	}
 	for _, r := range recs {
 		if !r.OK {

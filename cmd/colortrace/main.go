@@ -1,7 +1,9 @@
 // Colortrace summarizes a round-level JSONL trace recorded by
 // `colorbench -scale -trace out.jsonl`: a per-phase table (engine runs,
 // rounds, messages per round, wall and setup time, live-set decay,
-// step-sweep imbalance, session cache hits), followed by the
+// step-sweep imbalance, session cache hits), a per-shard table when the
+// trace carries sharded-run telemetry (peak live, messages and step-wall
+// share per shard - the imbalance view of a sharded engine), and the
 // field-evaluation hit-rate table when the trace carries an "evals"
 // snapshot.
 //
@@ -50,6 +52,13 @@ func run() error {
 		return err
 	}
 
+	if shards := obs.SummarizeShards(tr); len(shards) > 0 {
+		fmt.Println()
+		if err := obs.ShardTable(os.Stdout, shards); err != nil {
+			return err
+		}
+	}
+
 	if len(tr.Evals) > 0 {
 		fmt.Println()
 		if err := obs.EvalTable(os.Stdout, tr.Evals); err != nil {
@@ -60,8 +69,8 @@ func run() error {
 	if *dumpRuns {
 		fmt.Println()
 		for _, r := range tr.Runs {
-			fmt.Printf("run %d phase=%q rounds=%d messages=%d peak_live=%d workers=%d batch=%v topo_cached=%v scratch_pooled=%v setup=%s compute=%s err=%q\n",
-				r.Run, r.Phase, r.Rounds, r.Messages, r.PeakLive, r.Workers, r.Batch,
+			fmt.Printf("run %d phase=%q rounds=%d messages=%d peak_live=%d workers=%d shards=%d batch=%v topo_cached=%v scratch_pooled=%v setup=%s compute=%s err=%q\n",
+				r.Run, r.Phase, r.Rounds, r.Messages, r.PeakLive, r.Workers, r.Shards, r.Batch,
 				r.TopoCached, r.ScratchPooled,
 				time.Duration(r.SetupNS).Round(time.Microsecond),
 				time.Duration(r.ComputeNS).Round(time.Microsecond), r.Err)

@@ -1,12 +1,15 @@
 // Graphgen writes benchmark graphs in the text edge-list format consumed
 // by colorcli, or (with -binary) in the sharded DCG1 binary format that
 // the streaming loader and `colorbench -scale -graph` consume — the
-// right choice for million-vertex instances.
+// right choice for million-vertex instances. -shards picks the binary
+// shard framing by target shard count (frames sized to ceil(m/N)), so a
+// file written for an N-shard run streams in N pieces.
 //
 // Usage:
 //
 //	graphgen -family forest|gnp|star-forest|powerlaw|regular|unitdisk|tree|grid
-//	         [-n vertices] [-k param] [-p prob] [-seed s] [-binary] [-o file]
+//	         [-n vertices] [-k param] [-p prob] [-seed s]
+//	         [-binary [-shards N]] [-o file]
 package main
 
 import (
@@ -32,8 +35,12 @@ func run() error {
 	p := flag.Float64("p", 0.01, "edge probability (gnp) or radius (unitdisk)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	binOut := flag.Bool("binary", false, "write the DCG1 binary format instead of the text edge list")
+	shards := flag.Int("shards", 0, "with -binary: frame the file for this many streaming shards (0 keeps the default framing)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
+	if *shards < 0 || (*shards > 0 && !*binOut) {
+		return fmt.Errorf("-shards requires -binary and a positive count")
+	}
 
 	var g *distcolor.Graph
 	var err error
@@ -70,9 +77,22 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if *binOut {
+	switch {
+	case *binOut && *shards > 0:
+		// Frame size = ceil(m/N), so the file splits into (about) the
+		// requested number of streaming shards; the format caps frames at
+		// 2^24 edges.
+		size := (g.M() + *shards - 1) / *shards
+		if size < 1 {
+			size = 1
+		}
+		if size > 1<<24 {
+			size = 1 << 24
+		}
+		err = g.WriteBinarySharded(w, size)
+	case *binOut:
 		err = g.WriteBinary(w)
-	} else {
+	default:
 		err = g.WriteEdgeList(w)
 	}
 	if err != nil {

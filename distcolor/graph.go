@@ -38,6 +38,38 @@ func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 // OpenBinary loads a DCG1 binary graph file.
 func OpenBinary(path string) (*Graph, error) { return graph.OpenBinary(path) }
 
+// Sharding is a contiguous partition of the vertex space into shards,
+// the unit of the shard-structured engine and of streaming binary loads.
+type Sharding = graph.Sharding
+
+// BinStat is the header summary of a DCG1 binary graph file.
+type BinStat = graph.BinStat
+
+// MaxShards is the largest supported shard count.
+const MaxShards = graph.MaxShards
+
+// NewSharding partitions n vertices into k near-equal contiguous shards.
+func NewSharding(n, k int) (Sharding, error) { return graph.NewSharding(n, k) }
+
+// AutoSharding picks a shard count for n vertices targeting ~256k
+// vertices per shard, clamped to [1, MaxShards].
+func AutoSharding(n int) Sharding { return graph.AutoSharding(n) }
+
+// OpenBinaryShards loads a DCG1 binary graph file through the streaming
+// per-shard reader: peak memory during the load is bounded by one
+// shard's adjacency plus a degree pass, instead of the whole edge list.
+// shards <= 0 selects AutoSharding.
+func OpenBinaryShards(path string, shards int) (*Graph, Sharding, error) {
+	return graph.OpenBinaryShards(path, shards)
+}
+
+// StatBinary reads just the DCG1 header: vertex/edge counts and the
+// file's shard framing, without loading the graph.
+func StatBinary(r io.Reader) (BinStat, error) { return graph.StatBinary(r) }
+
+// StatBinaryFile reads the DCG1 header of a file.
+func StatBinaryFile(path string) (BinStat, error) { return graph.StatBinaryFile(path) }
+
 // Load reads a graph in either supported format, sniffing the DCG1 magic.
 func Load(r io.Reader) (*Graph, error) { return graph.Load(r) }
 

@@ -80,6 +80,13 @@ type WordInbox struct {
 	words []int64 // previous parity's full word column
 	sent  []uint8 // previous parity's sent flags, one per slot
 	slots []int32 // per-port slot of the sending neighbor
+	// Sharded delivery (shard.go; all three stay nil on flat runs):
+	// slots then hold SHARD-LOCAL indices, inShard[p] names the sending
+	// shard, and wordsBy/sentBy are the previous parity's per-shard
+	// column segments.
+	inShard []uint8
+	wordsBy [][]int64
+	sentBy  [][]uint8
 }
 
 // Ports returns the number of visible ports (the node's degree).
@@ -87,12 +94,20 @@ func (in WordInbox) Ports() int { return len(in.slots) }
 
 // Has reports whether the neighbor on port p sent a message last round
 // (the boxed path's inbox[p] != nil).
-func (in WordInbox) Has(p int) bool { return in.sent[in.slots[p]] != 0 }
+func (in WordInbox) Has(p int) bool {
+	if in.inShard == nil {
+		return in.sent[in.slots[p]] != 0
+	}
+	return in.sentBy[in.inShard[p]][in.slots[p]] != 0
+}
 
 // Word returns the first word of port p's message. Meaningful only when
 // Has(p); the value is unspecified otherwise.
 func (in WordInbox) Word(p int) int64 {
-	return in.words[int(in.slots[p])*in.width]
+	if in.inShard == nil {
+		return in.words[int(in.slots[p])*in.width]
+	}
+	return in.wordsBy[in.inShard[p]][int(in.slots[p])*in.width]
 }
 
 // Words returns the full W-word message on port p as a view into the
@@ -100,7 +115,11 @@ func (in WordInbox) Word(p int) int64 {
 // call and must not be retained or written.
 func (in WordInbox) Words(p int) []int64 {
 	s := int(in.slots[p]) * in.width
-	return in.words[s : s+in.width : s+in.width]
+	if in.inShard == nil {
+		return in.words[s : s+in.width : s+in.width]
+	}
+	col := in.wordsBy[in.inShard[p]]
+	return col[s : s+in.width : s+in.width]
 }
 
 // SendWords marks the given visible port as sending this round and
@@ -188,6 +207,10 @@ func (s *simulation) stepSliceBatch(r, lo, hi int) {
 // halting sends have been delivered: a halted node no longer steps, so
 // nothing else clears the stale flags its final rounds left behind.
 func (s *simulation) flushHaltClears() {
+	if st := s.topo.shard; st != nil {
+		s.flushHaltClearsSharded(st)
+		return
+	}
 	for _, v := range s.clearQ {
 		b := s.topo.base[v]
 		deg := len(s.nodes[v].ports)

@@ -192,6 +192,9 @@ type Network struct {
 	// workers is the pool size RunOptions.Workers == 0 resolves to
 	// (0 = the auto heuristic); see WithWorkers.
 	workers int
+	// sharding is the vertex partition of a Sharded view (the zero value
+	// on flat networks); the engine-facing copy lives in the session.
+	sharding graph.Sharding
 	// sess is the persistent per-network session: cached topologies and
 	// pooled per-run state. It is a pointer so WithDelivery/WithWorkers
 	// views share it.
@@ -377,7 +380,11 @@ type simulation struct {
 	width  int
 	wwords [2][]int64
 	wsent  [2][]uint8
-	clearQ []int // nodes halted last round, flags pending a clear
+	// shWords/shSent are the per-shard column views of a sharded batch
+	// run (shard.go); nil on flat runs, where wwords/wsent serve.
+	shWords [2][][]int64
+	shSent  [2][][]uint8
+	clearQ  []int // nodes halted last round, flags pending a clear
 
 	// Word-I/O state (see wordio.go); wio is nil outside word-I/O runs.
 	wio    WordIOAlgorithm
@@ -484,10 +491,14 @@ func newSimulation(net *Network, algo Algorithm, opts RunOptions, batch bool) (*
 		// and had them flushed (flushHaltClears) - so stale content from
 		// a previous run, even one with a different topology, is never
 		// observed.
-		for i := 0; i < 2; i++ {
-			rs.wwords[i] = grown(rs.wwords[i], topo.totalPorts*width)
-			rs.wsent[i] = grown(rs.wsent[i], topo.totalPorts)
-			s.wwords[i], s.wsent[i] = rs.wwords[i], rs.wsent[i]
+		if st := topo.shard; st != nil {
+			s.growShardColumns(rs, st, width)
+		} else {
+			for i := 0; i < 2; i++ {
+				rs.wwords[i] = grown(rs.wwords[i], topo.totalPorts*width)
+				rs.wsent[i] = grown(rs.wsent[i], topo.totalPorts)
+				s.wwords[i], s.wsent[i] = rs.wwords[i], rs.wsent[i]
+			}
 		}
 		s.clearQ = rs.clearQ[:0]
 	}
@@ -655,11 +666,16 @@ func (s *simulation) stepRound(r int) {
 
 func (s *simulation) stepSlice(r, lo, hi int) {
 	if s.fw != nil {
-		s.stepSliceBatch(r, lo, hi)
+		if s.topo.shard != nil {
+			s.stepSliceBatchSharded(r, lo, hi)
+		} else {
+			s.stepSliceBatch(r, lo, hi)
+		}
 		return
 	}
 	base := s.topo.base
 	inSlots := s.topo.inSlots
+	st := s.topo.shard
 	for i := lo; i < hi; i++ {
 		v := s.live[i]
 		nd := s.nodes[v]
@@ -678,9 +694,15 @@ func (s *simulation) stepSlice(r, lo, hi int) {
 		for p, u := range nd.ports {
 			// The neighbor's previous-round buffer is live exactly when
 			// it stepped that round, i.e. halted no earlier. Its port
-			// back to us is its delivery slot minus its slot base.
+			// back to us is its delivery slot minus its slot base; on a
+			// sharded topology the slot is shard-local and the boundary
+			// table supplies the sending shard's slot offset.
 			if s.haltedAt[u] >= r-1 {
-				in[p] = s.nodes[u].bufs[prev][int(inSlots[b+p])-base[u]]
+				slot := int(inSlots[b+p])
+				if st != nil {
+					slot += st.slotCuts[st.inShard[b+p]]
+				}
+				in[p] = s.nodes[u].bufs[prev][slot-base[u]]
 			} else {
 				in[p] = nil
 			}

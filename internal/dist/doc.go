@@ -71,6 +71,39 @@
 // identical at every worker count - the speedup sweeps in CI assert
 // exactly that.
 //
+// # Sharded execution
+//
+// Network.Sharded(sh) returns a view running the shard-structured
+// engine: the vertex space is partitioned into graph.Sharding's
+// contiguous shards and the batch transport's message columns become
+// shard-local (shard.go). Ownership and delivery contract:
+//
+//   - Column ownership is by SENDER shard: the word a vertex u sends on
+//     a port lives in the column of u's shard, at the shard-local slot
+//     base[u] - slotCuts[shard(u)] + rank. A step writes only its own
+//     vertex's slots in its own shard's column, so shard segments can
+//     step concurrently without sharing cache lines across shards.
+//   - Cross-shard delivery is by boundary table: for each visible port
+//     the topology stores the shard-local slot plus a one-byte sending-
+//     shard index (inShard), and a receiver resolves a word by indexing
+//     the sender shard's previous-parity column directly. There is no
+//     copy step - "exchange" between shards is the read itself, which
+//     touches only previous-round columns.
+//   - Previous-parity columns are immutable during a step (the same
+//     double-buffered round-parity rule as the flat transport), which
+//     is what makes the cross-shard read safe under any worker count.
+//   - Sharding is observationally inert: colors, rounds and message
+//     counts are bit-for-bit identical at every shard count (golden and
+//     shadow tests pin this); only WHERE a message word lives changes.
+//     Probed sharded runs additionally record per-shard live counts,
+//     message counts and step wall time per round (ShardRoundStat).
+//
+// A Sharded view gets a fresh session, so one session never caches two
+// shard layouts; count 1 (or a zero Sharding) normalizes to the flat
+// engine. The streaming loader graph.OpenBinaryShards pairs with this:
+// it materializes the CSR per shard so peak load memory is bounded by
+// one shard's adjacency instead of the whole edge list.
+//
 // # Observability
 //
 // A Probe (probe.go) streams one RoundRecord per communication round

@@ -45,9 +45,24 @@ type RoundRecord struct {
 	// housekeeping + halt collection).
 	WallNS int64 `json:"wall_ns"`
 	// MaxChunkNS / MeanChunkNS measure per-chunk imbalance of the step
-	// sweep: with a single worker both equal the step time.
+	// sweep: with a single worker both equal the step time. On sharded
+	// runs the chunks ARE the shard segments (see Shards).
 	MaxChunkNS  int64 `json:"max_chunk_ns"`
 	MeanChunkNS int64 `json:"mean_chunk_ns"`
+	// Shards holds the per-shard slice of a sharded run's round - live
+	// nodes, messages sent, and step wall per shard, summing (wall
+	// aside) to the record's own fields. Nil on flat runs.
+	Shards []ShardRoundStat `json:"shards,omitempty"`
+}
+
+// ShardRoundStat is one shard's slice of a sharded round: how many of
+// the round's live nodes it held, how many messages they sent, and the
+// wall time of its step segment. Live and Messages are deterministic;
+// WallNS is not (it is a measurement, like the record's WallNS).
+type ShardRoundStat struct {
+	Live     int   `json:"live"`
+	Messages int64 `json:"messages"`
+	WallNS   int64 `json:"wall_ns"`
 }
 
 // RunRecord is the per-Run trace record: aggregates plus the run-level
@@ -72,6 +87,9 @@ type RunRecord struct {
 	// reports reuse of the pooled per-run scratch bundle.
 	TopoCached    bool `json:"topo_cached"`
 	ScratchPooled bool `json:"scratch_pooled"`
+	// Shards is the shard count of the run's engine view (0 on flat
+	// runs, where no per-shard telemetry is emitted).
+	Shards int `json:"shards,omitempty"`
 	// SetupNS is the wall time of simulation assembly (topology resolve +
 	// node wiring); ComputeNS is the wall time of the round loop and
 	// result collection.
@@ -305,6 +323,24 @@ func (s *simulation) runProbed() (*Result, error) {
 	}
 	rounds := 0
 	var prevSent int64
+	// Sharded runs carry per-shard round telemetry: the step is timed
+	// shard-segment by shard-segment (stepRoundShardTimed) and the send
+	// counters are summed per shard, so every record's Shards slice
+	// reports live/messages/wall per shard. The buffers come from the
+	// pooled scratch; only the per-record slices allocate.
+	st := s.topo.shard
+	var segs []int
+	var shardNS, shardCum, shardPrev []int64
+	if st != nil {
+		k := st.k()
+		s.rs.shardSegs = grown(s.rs.shardSegs, k+1)
+		s.rs.shardNS = grown(s.rs.shardNS, k)
+		s.rs.shardCum = grown(s.rs.shardCum, k)
+		s.rs.shardPrev = grown(s.rs.shardPrev, k)
+		segs, shardNS = s.rs.shardSegs, s.rs.shardNS
+		shardCum, shardPrev = s.rs.shardCum, s.rs.shardPrev
+		clear(shardPrev)
+	}
 	for r := 1; len(s.live) > 0; r++ {
 		if r > budget {
 			return nil, fail(fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
@@ -312,14 +348,36 @@ func (s *simulation) runProbed() (*Result, error) {
 		}
 		live := len(s.live)
 		roundStart := time.Now()
-		w, maxNS, meanNS := s.stepRoundTimed(r)
+		var w int
+		var maxNS, meanNS int64
+		if st != nil {
+			s.liveShardSegs(st, segs)
+			w, maxNS, meanNS = s.stepRoundShardTimed(r, st, segs, shardNS)
+		} else {
+			w, maxNS, meanNS = s.stepRoundTimed(r)
+		}
 		if s.fw != nil {
 			s.flushHaltClears()
 		}
 		rounds = r
 		s.collectHalted(r)
 		wall := time.Since(roundStart)
-		cum := s.sentTotal()
+		var cum int64
+		var shardStats []ShardRoundStat
+		if st != nil {
+			cum = s.sentTotalShards(st, shardCum)
+			shardStats = make([]ShardRoundStat, st.k())
+			for j := range shardStats {
+				shardStats[j] = ShardRoundStat{
+					Live:     segs[j+1] - segs[j],
+					Messages: shardCum[j] - shardPrev[j],
+					WallNS:   shardNS[j],
+				}
+			}
+			copy(shardPrev, shardCum)
+		} else {
+			cum = s.sentTotal()
+		}
 		p.round(RoundRecord{
 			Run:         seq,
 			Round:       r,
@@ -330,6 +388,7 @@ func (s *simulation) runProbed() (*Result, error) {
 			WallNS:      wall.Nanoseconds(),
 			MaxChunkNS:  maxNS,
 			MeanChunkNS: meanNS,
+			Shards:      shardStats,
 		})
 		prevSent = cum
 		if err := s.failSlot.take(); err != nil {
@@ -363,6 +422,9 @@ func (s *simulation) emitRun(p *Probe, seq int64, phase string, rounds int, msgs
 		ScratchPooled: s.scratchPooled,
 		SetupNS:       s.setupNS,
 		ComputeNS:     compute.Nanoseconds(),
+	}
+	if st := s.topo.shard; st != nil {
+		rec.Shards = st.k()
 	}
 	if err != nil {
 		rec.Err = err.Error()

@@ -49,11 +49,17 @@ type topology struct {
 	// layout of batch.go / wordio.go.
 	base []int
 	// inSlots[base[v]+p] is the slot neighbor u = ports[v][p] writes for
-	// v: u's base plus v's position in u's port list. It serves batch
-	// delivery directly and gives the boxed path its peer index as
-	// inSlots[base[v]+p] - base[u].
+	// v. On a flat topology it is global - u's base plus v's position in
+	// u's port list - serving batch delivery directly and giving the
+	// boxed path its peer index as inSlots[base[v]+p] - base[u]. On a
+	// sharded topology (shard != nil) it is SHARD-LOCAL: the same slot
+	// relative to the sending shard's slot range, with shard.inShard
+	// naming the shard (see shard.go).
 	inSlots    []int32
 	totalPorts int
+	// shard is the per-topology shard structure of a sharded session
+	// (nil on flat sessions); see shard.go.
+	shard *shardTopo
 }
 
 // slots returns v's per-port delivery-slot view.
@@ -69,7 +75,7 @@ var emptyPorts = make([]int, 0)
 // buildUnfiltered assembles the whole-graph topology. The port lists are
 // the graph's own adjacency slices; only the slot table is computed, in
 // parallel.
-func buildUnfiltered(g *graph.Graph, workers int) *topology {
+func (sc *session) buildUnfiltered(g *graph.Graph, workers int) *topology {
 	n := g.N()
 	t := &topology{
 		ports: make([][]int, n),
@@ -91,6 +97,7 @@ func buildUnfiltered(g *graph.Graph, workers int) *topology {
 	}
 	t.totalPorts = next
 	t.inSlots = make([]int32, next)
+	sc.attachShardTopo(t)
 	fillSlots(t, workers)
 	return t
 }
@@ -98,7 +105,7 @@ func buildUnfiltered(g *graph.Graph, workers int) *topology {
 // buildFiltered assembles the topology of a label/active-filtered run.
 // The per-vertex passes (visibility counting, port filling, slot
 // ranking) run in parallel; only the O(n) prefix sums are serial.
-func buildFiltered(g *graph.Graph, labels []int, active []bool, workers int) *topology {
+func (sc *session) buildFiltered(g *graph.Graph, labels []int, active []bool, workers int) *topology {
 	n := g.N()
 	t := &topology{
 		ports: make([][]int, n),
@@ -145,24 +152,38 @@ func buildFiltered(g *graph.Graph, labels []int, active []bool, workers int) *to
 		}
 	})
 	t.inSlots = make([]int32, next)
+	sc.attachShardTopo(t)
 	fillSlots(t, workers)
 	return t
 }
 
 // fillSlots computes the delivery-slot table: visibility is symmetric, so
 // v always appears in its visible neighbors' port lists and the rank
-// lookup is a binary search in the neighbor's sorted ports.
+// lookup is a binary search in the neighbor's sorted ports. On a sharded
+// topology the recorded slot is shard-local and the boundary table
+// (shard.inShard) names the sending shard per slot.
 func fillSlots(t *topology, workers int) {
 	n := len(t.ports)
+	st := t.shard
 	parfor(n, workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			ports := t.ports[v]
 			if len(ports) == 0 {
 				continue
 			}
-			slots := t.inSlots[t.base[v]:]
+			b := t.base[v]
+			slots := t.inSlots[b:]
+			if st == nil {
+				for p, u := range ports {
+					slots[p] = int32(t.base[u] + sort.SearchInts(t.ports[u], v))
+				}
+				continue
+			}
+			inShard := st.inShard[b:]
 			for p, u := range ports {
-				slots[p] = int32(t.base[u] + sort.SearchInts(t.ports[u], v))
+				k := st.vshard[u]
+				slots[p] = int32(t.base[u] - st.slotCuts[k] + sort.SearchInts(t.ports[u], v))
+				inShard[p] = k
 			}
 		}
 	})
@@ -241,6 +262,13 @@ type session struct {
 	// built); out is the pooled word-I/O output column of wordio.go.
 	run *runScratch
 	out []int64
+	// sh/vshard describe the vertex sharding of this session's network
+	// view (zero/nil = flat engine). They are set once when the sharded
+	// view is created (Network.Sharded gives the view a FRESH session, so
+	// one session never caches topologies of two shard layouts) and are
+	// read-only afterwards; every topology built here inherits them.
+	sh     graph.Sharding
+	vshard []uint8
 }
 
 // topology returns the cached wiring for the given filters, building and
@@ -263,7 +291,7 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 		if t != nil {
 			return t, true
 		}
-		t = buildUnfiltered(g, workers)
+		t = sc.buildUnfiltered(g, workers)
 		sc.mu.Lock()
 		if sc.unfiltered == nil {
 			sc.unfiltered = t
@@ -286,7 +314,7 @@ func (sc *session) topology(g *graph.Graph, labels []int, active []bool, workers
 		}
 	}
 	sc.mu.Unlock()
-	t = buildFiltered(g, labels, active, workers)
+	t = sc.buildFiltered(g, labels, active, workers)
 	e := &topoEntry{
 		hash:   h,
 		labels: slices.Clone(labels),
@@ -336,6 +364,18 @@ type runScratch struct {
 	clearQ    []int
 	wwords    [2][]int64
 	wsent     [2][]uint8
+	// wshardWords/wshardSent are the pooled per-shard round-parity
+	// message columns of sharded batch runs, indexed [parity][shard]
+	// (nil and unused on flat sessions); see shard.go.
+	wshardWords [2][][]int64
+	wshardSent  [2][][]uint8
+	// shardSegs/shardNS/shardCum/shardPrev are the per-shard telemetry
+	// buffers of probed sharded runs (live-list segmentation, step wall,
+	// cumulative and previous-round send counters).
+	shardSegs []int
+	shardNS   []int64
+	shardCum  []int64
+	shardPrev []int64
 	// counts/starts are the per-chunk counters of the parallel
 	// collect/collection sweeps.
 	counts []int

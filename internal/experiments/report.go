@@ -67,6 +67,13 @@ type Record struct {
 	// bit-for-bit identical at every point.
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	Workers    int `json:"workers,omitempty"`
+	// Shards is the shard count of a shard-structured scale run
+	// (ScaleOptions.Shards / dist.Network.Sharded); omitted on plain flat
+	// runs, 1 on the flat baseline point of a -scale-shards sweep. The
+	// shard-count curve the nightly sweep archives sits next to the
+	// Workers curve; colors/rounds/messages are bit-for-bit identical at
+	// every point of both.
+	Shards int `json:"shards,omitempty"`
 	// GoVersion is runtime.Version() of the process that produced the
 	// record; Timestamp is an RFC3339 stamp the harness passes in
 	// (ScaleOptions.Timestamp - the engine never reads the clock for

@@ -50,6 +50,13 @@ type ScaleOptions struct {
 	// paces the worker pool, which is what the -scale-procs speedup
 	// sweep measures.
 	Workers int
+	// Shards runs the shard-structured engine with this many vertex
+	// shards (dist.Network.Sharded); 0 or 1 keeps the flat engine. When
+	// the instance comes from a DCG1 binary the graph is loaded through
+	// the streaming per-shard reader (graph.OpenBinaryShards), bounding
+	// peak load RSS to one shard's CSR slice plus the degree pass. Like
+	// Workers, the knob never changes colors, rounds or messages.
+	Shards int
 	// Probe, when non-nil, is attached to the measured coloring run
 	// (dist.Network.WithProbe), tracing every engine round of every
 	// phase. The caller owns the probe's lifecycle (Close after the run).
@@ -99,7 +106,23 @@ func ScaleRun(opt ScaleOptions) (*ScaleResult, error) {
 	if opt.Workers > 0 {
 		net = net.WithWorkers(opt.Workers)
 	}
+	if net, err = shardNet(net, g, opt.Shards); err != nil {
+		return nil, err
+	}
 	return scaleMeasure(net, g, source, opt)
+}
+
+// shardNet applies the shard-structured engine view for k > 1 shards;
+// k <= 1 returns the flat network unchanged.
+func shardNet(net *dist.Network, g *graph.Graph, k int) (*dist.Network, error) {
+	if k <= 1 {
+		return net, nil
+	}
+	sh, err := graph.NewSharding(g.N(), k)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale sharding: %w", err)
+	}
+	return net.Sharded(sh)
 }
 
 // ScaleSweep is the speedup-curve harness: it prepares the instance ONCE
@@ -150,6 +173,69 @@ func ScaleSweep(opt ScaleOptions, workers []int) ([]*ScaleResult, error) {
 	return results, nil
 }
 
+// ScaleShardSweep is the shard-count curve harness, the sharded sibling
+// of ScaleSweep: the instance and the identifier permutation are
+// prepared ONCE, then each listed shard count colors the exact same
+// network through a fresh session - the flat engine at count 1, the
+// shard-structured engine above it. It fails unless colors, rounds and
+// message counts are bit-for-bit identical at every count (sharding
+// only moves message words between columns, it never reorders the
+// computation); on error the results measured so far are still
+// returned so harnesses can archive them. A sweep that includes a
+// sharded point loads a DCG1 instance through the streaming per-shard
+// reader (using the largest requested count), so the load-time RSS
+// bound comes for free on sharded sweeps.
+func ScaleShardSweep(opt ScaleOptions, shardCounts []int) ([]*ScaleResult, error) {
+	opt.normalize()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	load := opt
+	for _, k := range shardCounts {
+		if k > load.Shards {
+			load.Shards = k
+		}
+	}
+	g, source, err := scaleGraph(load, rng)
+	if err != nil {
+		return nil, err
+	}
+	ids := dist.NewNetworkPermuted(g, rng).IDs()
+	var results []*ScaleResult
+	for _, k := range shardCounts {
+		if k < 1 {
+			return results, fmt.Errorf("experiments: scale shard sweep: shard count %d < 1", k)
+		}
+		net, err := dist.NewNetworkWithIDs(g, ids)
+		if err != nil {
+			return results, err
+		}
+		o := opt
+		o.Shards = k
+		net = net.WithDelivery(o.Delivery)
+		if o.Workers > 0 {
+			net = net.WithWorkers(o.Workers)
+		}
+		if net, err = shardNet(net, g, k); err != nil {
+			return results, err
+		}
+		res, err := scaleMeasure(net, g, source, o)
+		if err != nil {
+			return results, fmt.Errorf("experiments: scale shard sweep (shards=%d): %w", k, err)
+		}
+		results = append(results, res)
+		first := results[0]
+		if !slices.Equal(res.Colors, first.Colors) ||
+			res.Record.Rounds != first.Record.Rounds ||
+			res.Record.Messages != first.Record.Messages {
+			return results, fmt.Errorf(
+				"experiments: scale shard sweep: shards=%d diverges from shards=%d (colors/rounds/messages %d/%d/%d vs %d/%d/%d)",
+				res.Record.Shards, first.Record.Shards,
+				res.Record.Colors, res.Record.Rounds, res.Record.Messages,
+				first.Record.Colors, first.Record.Rounds, first.Record.Messages)
+		}
+	}
+	return results, nil
+}
+
 // scaleMeasure runs the measured coloring section on a prepared network.
 func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOptions) (*ScaleResult, error) {
 	if opt.Probe != nil {
@@ -191,6 +277,7 @@ func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOpt
 		AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
+		Shards:     recordShards(opt, net),
 		GoVersion:  runtime.Version(),
 		Timestamp:  opt.Timestamp,
 		TracePath:  opt.TracePath,
@@ -202,11 +289,34 @@ func scaleMeasure(net *dist.Network, g *graph.Graph, source string, opt ScaleOpt
 	return &ScaleResult{Record: rec, Colors: res.Colors}, nil
 }
 
+// recordShards resolves the Shards field of a scale record: the engine's
+// resolved shard count when sharding was requested, omitted (0) on plain
+// flat runs so pre-shard records keep their shape.
+func recordShards(opt ScaleOptions, net *dist.Network) int {
+	if opt.Shards > 0 {
+		return net.Shards()
+	}
+	return 0
+}
+
 // scaleGraph resolves the instance: a prebuilt file, or a generated
 // forest union pushed through the binary writer and streamed back in, so
-// a default scale run exercises WriteBinary/OpenBinary end to end.
+// a default scale run exercises WriteBinary/OpenBinary end to end. With
+// Shards > 1 a DCG1 binary instance is loaded through the streaming
+// per-shard reader instead of the flat one - same graph bit for bit,
+// peak load RSS bounded by one shard (plus the n-sized degree pass).
 func scaleGraph(opt ScaleOptions, rng *rand.Rand) (*graph.Graph, string, error) {
 	if opt.GraphPath != "" {
+		if opt.Shards > 1 {
+			if _, err := graph.StatBinaryFile(opt.GraphPath); err == nil {
+				g, _, err := graph.OpenBinaryShards(opt.GraphPath, opt.Shards)
+				if err != nil {
+					return nil, "", err
+				}
+				return g, filepath.Base(opt.GraphPath), nil
+			}
+			// Not a DCG1 binary: fall through to the flat loader.
+		}
 		g, err := graph.LoadFile(opt.GraphPath)
 		if err != nil {
 			return nil, "", err
@@ -234,6 +344,13 @@ func scaleGraph(opt ScaleOptions, rng *rand.Rand) (*graph.Graph, string, error) 
 	}
 	if err := f.Close(); err != nil {
 		return nil, "", err
+	}
+	if opt.Shards > 1 {
+		g, _, err := graph.OpenBinaryShards(path, opt.Shards)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, "forest-union", nil
 	}
 	g, err := graph.OpenBinary(path)
 	if err != nil {

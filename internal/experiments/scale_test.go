@@ -186,6 +186,60 @@ func TestScaleSweepMatchesScaleRun(t *testing.T) {
 	}
 }
 
+// TestScaleShardSweepMatchesScaleRun pins the shard-count curve to the
+// flat harness: every point of a ScaleShardSweep (flat baseline at
+// count 1, shard-structured engine above it, including a sharded run
+// through ScaleRun's streaming-load path) must reproduce the plain
+// flat ScaleRun bit for bit, and records must carry the shard count.
+func TestScaleShardSweepMatchesScaleRun(t *testing.T) {
+	base := ScaleOptions{N: 2500, Arboricity: 6, P: 4, Seed: 21, Dir: t.TempDir()}
+	plain, err := ScaleRun(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Record.Shards != 0 {
+		t.Errorf("flat run recorded shards=%d, want omitted (0)", plain.Record.Shards)
+	}
+	counts := []int{1, 2, 4, graph.AutoSharding(base.N).NumShards()}
+	sweep, err := ScaleShardSweep(base, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(counts) {
+		t.Fatalf("sweep returned %d results, want %d", len(sweep), len(counts))
+	}
+	for i, res := range sweep {
+		if res.Record.Shards != counts[i] {
+			t.Errorf("point %d recorded shards=%d, want %d", i, res.Record.Shards, counts[i])
+		}
+		if !reflect.DeepEqual(res.Colors, plain.Colors) {
+			t.Errorf("shards=%d: sweep coloring diverges from plain ScaleRun", counts[i])
+		}
+		if res.Record.Rounds != plain.Record.Rounds || res.Record.Messages != plain.Record.Messages {
+			t.Errorf("shards=%d: rounds/messages diverge: %d/%d vs %d/%d", counts[i],
+				res.Record.Rounds, res.Record.Messages, plain.Record.Rounds, plain.Record.Messages)
+		}
+	}
+
+	// A sharded ScaleRun takes the streaming per-shard load path for the
+	// generated binary and must still match the flat run exactly.
+	shardedOpt := base
+	shardedOpt.Shards = 3
+	sharded, err := ScaleRun(shardedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Record.Shards != 3 {
+		t.Errorf("sharded run recorded shards=%d, want 3", sharded.Record.Shards)
+	}
+	if !reflect.DeepEqual(sharded.Colors, plain.Colors) ||
+		sharded.Record.Rounds != plain.Record.Rounds ||
+		sharded.Record.Messages != plain.Record.Messages {
+		t.Errorf("sharded ScaleRun diverges from flat (rounds/messages %d/%d vs %d/%d)",
+			sharded.Record.Rounds, sharded.Record.Messages, plain.Record.Rounds, plain.Record.Messages)
+	}
+}
+
 // TestScaleRunFromPrebuiltGraph exercises the -graph path of the scale
 // harness against a graphgen-style binary file.
 func TestScaleRunFromPrebuiltGraph(t *testing.T) {

@@ -1,12 +1,33 @@
 package field
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
-// maxRowTableInts caps the memory spent on a family's precomputed row
-// table (ints, i.e. 8 MiB at 1<<20). Terminal recoloring families
-// (q up to ~100) are cached in full; larger first-step families keep a
-// partial table and fall back to on-the-fly Horner evaluation.
+// maxRowTableInts caps the memory a family's precomputed row table gets
+// at construction when no palette bound is known (ints, i.e. 8 MiB at
+// 1<<20). Terminal recoloring families (q up to ~100) are cached in
+// full; larger families keep a partial table and fall back to on-the-fly
+// Horner evaluation.
 const maxRowTableInts = 1 << 20
+
+// maxRowTableGrowInts is the hard ceiling for palette-driven growth
+// (EnsureRows): 1<<23 ints = 64 MiB. A first-step family whose palette
+// bound exceeds this keeps a partial table; everything below it is
+// cached exactly to the palette, so the steady-state hit rate of a
+// recoloring schedule is 1 whenever the bound fits.
+const maxRowTableGrowInts = 1 << 23
+
+// rowTable is one immutable snapshot of a family's precomputed rows:
+// rows[x*q+alpha] = phi_x(alpha) for all x < rowsFor. Growth replaces
+// the whole snapshot (copy + extend) behind Family.tab, so readers
+// never observe a partially filled table.
+type rowTable struct {
+	rows    []int
+	rowsFor int
+}
 
 // Family is a family of functions phi_x : [0,Q) -> [0,Q), indexed by
 // x in [0, Size()), such that any two distinct functions agree on at most
@@ -16,25 +37,37 @@ const maxRowTableInts = 1 << 20
 // Family satisfies the hypotheses of Lemma 5.1 in the paper (and Lemma 4.3
 // of Kuhn SPAA'09): |A| = |B| = q, k = D, and |F| = q^(D+1) >= M functions.
 //
-// A Family is immutable after construction and safe for concurrent use;
-// hot paths should obtain one from the process-wide Families cache rather
-// than re-deriving it with NewFamily.
+// The function family itself is immutable; the precomputed row table
+// grows monotonically (EnsureRows) and is published atomically, so a
+// Family is safe for concurrent use throughout. Hot paths should obtain
+// one from the process-wide Families/FamiliesFor cache rather than
+// re-deriving it with NewFamily.
 type Family struct {
 	fp     Fp
 	degree int // D: maximum polynomial degree
 	size   int // q^(D+1), clamped to avoid overflow
-	// rows is the precomputed row table: rows[x*q+alpha] = phi_x(alpha)
-	// for all x < rowsFor. rowsFor covers the whole family whenever
-	// Size()*Q() fits in maxRowTableInts (in particular every q*q-sized
-	// terminal family of a recoloring schedule).
-	rows    []int
-	rowsFor int
+	// tab is the current row-table snapshot; RowView, EvalTable and the
+	// EvalCounters classification all read through one atomic load.
+	tab    atomic.Pointer[rowTable]
+	growMu sync.Mutex // serializes EnsureRows growth
 }
 
 // NewFamily constructs a polynomial family over F_q with degree bound d.
 // q must be prime and d >= 0. The family contains q^(d+1) functions
 // (saturating at MaxInt-ish sizes; callers only need size >= their M).
+// The row table is sized by the default construction cap; callers that
+// know their palette bound should use NewFamilySized or FamiliesFor.
 func NewFamily(q, d int) (*Family, error) {
+	return NewFamilySized(q, d, -1)
+}
+
+// NewFamilySized constructs the family with its row table sized to the
+// palette bound m - the number of distinct input colors the caller will
+// evaluate, i.e. the m_i of the recoloring step using the family. The
+// table covers min(m, Size(), maxRowTableGrowInts/q) indices; m < 0
+// means "palette unknown" and falls back to the default construction
+// cap. The table can still grow later via EnsureRows.
+func NewFamilySized(q, d, m int) (*Family, error) {
 	fp, err := NewFp(q)
 	if err != nil {
 		return nil, err
@@ -51,17 +84,61 @@ func NewFamily(q, d int) (*Family, error) {
 		size *= q
 	}
 	f := &Family{fp: fp, degree: d, size: size}
-	f.rowsFor = size
-	if f.rowsFor > maxRowTableInts/q {
-		f.rowsFor = maxRowTableInts / q
+	rows := size
+	if m >= 0 {
+		if m < rows {
+			rows = m
+		}
+		if c := maxRowTableGrowInts / q; rows > c {
+			rows = c
+		}
+	} else if c := maxRowTableInts / q; rows > c {
+		rows = c
 	}
-	f.rows = make([]int, f.rowsFor*q)
-	for x := 0; x < f.rowsFor; x++ {
+	f.tab.Store(f.extendRows(&rowTable{}, rows))
+	return f, nil
+}
+
+// extendRows builds a new snapshot covering rowsFor indices, copying the
+// already computed prefix of t and evaluating the remainder.
+func (f *Family) extendRows(t *rowTable, rowsFor int) *rowTable {
+	q := f.fp.Q()
+	rows := make([]int, rowsFor*q)
+	copy(rows, t.rows)
+	for x := t.rowsFor; x < rowsFor; x++ {
 		for alpha := 0; alpha < q; alpha++ {
-			f.rows[x*q+alpha] = f.Eval(x, alpha)
+			rows[x*q+alpha] = f.Eval(x, alpha)
 		}
 	}
-	return f, nil
+	return &rowTable{rows: rows, rowsFor: rowsFor}
+}
+
+// EnsureRows grows the precomputed row table to cover the palette bound
+// m - min(m, Size(), maxRowTableGrowInts/q) indices - and returns the
+// resulting RowsCached. Growth is monotone (a smaller m never shrinks
+// the table) and safe for concurrent use; readers keep the snapshot
+// they loaded, so rows handed out by RowView remain valid.
+func (f *Family) EnsureRows(m int) int {
+	q := f.fp.Q()
+	target := m
+	if target > f.size {
+		target = f.size
+	}
+	if c := maxRowTableGrowInts / q; target > c {
+		target = c
+	}
+	if t := f.tab.Load(); t.rowsFor >= target {
+		return t.rowsFor
+	}
+	f.growMu.Lock()
+	defer f.growMu.Unlock()
+	t := f.tab.Load()
+	if t.rowsFor >= target {
+		return t.rowsFor
+	}
+	t = f.extendRows(t, target)
+	f.tab.Store(t)
+	return t.rowsFor
 }
 
 // MinimalFamily returns the polynomial family over the smallest prime
@@ -106,8 +183,9 @@ func (f *Family) Agreement() int { return f.degree }
 func (f *Family) Size() int { return f.size }
 
 // RowsCached returns the number of function indices covered by the
-// precomputed row table (RowView answers those without computing).
-func (f *Family) RowsCached() int { return f.rowsFor }
+// precomputed row table (RowView answers those without computing). It
+// only ever grows (EnsureRows).
+func (f *Family) RowsCached() int { return f.tab.Load().rowsFor }
 
 // Eval returns phi_x(alpha), for function index x and point alpha.
 //
@@ -143,8 +221,8 @@ func (f *Family) Eval(x, alpha int) int {
 // write through the returned slice.
 func (f *Family) RowView(x int, scratch []int) []int {
 	q := f.fp.Q()
-	if x < f.rowsFor {
-		return f.rows[x*q : x*q+q : x*q+q]
+	if t := f.tab.Load(); x < t.rowsFor {
+		return t.rows[x*q : x*q+q : x*q+q]
 	}
 	row := scratch[:q]
 	for alpha := 0; alpha < q; alpha++ {
@@ -155,8 +233,9 @@ func (f *Family) RowView(x int, scratch []int) []int {
 
 // EvalTable exposes the precomputed row table: a flattened
 // RowsCached() x Q() matrix with phi_x(alpha) at index x*Q()+alpha.
-// The returned slice is shared and must not be modified.
-func (f *Family) EvalTable() []int { return f.rows }
+// The returned slice is an immutable snapshot (later EnsureRows growth
+// is not reflected in it) and must not be modified.
+func (f *Family) EvalTable() []int { return f.tab.Load().rows }
 
 // Row materializes the value vector (phi_x(0), ..., phi_x(q-1)).
 // Convenient for tests and for nodes that evaluate all points anyway.

@@ -30,7 +30,7 @@ func (c *EvalCounters) Count(f *Family, x int) {
 	if c == nil {
 		return
 	}
-	if x < f.rowsFor {
+	if x < f.tab.Load().rowsFor {
 		c.hits.Add(1)
 	} else {
 		c.fallbacks.Add(1)

@@ -32,6 +32,47 @@ func TestEvalCountersClassification(t *testing.T) {
 	}
 }
 
+// TestEvalCountersPaletteHitRate pins the payoff of palette-sized row
+// tables: counting every index a step with palette bound m can evaluate
+// yields hit rate 1 on a FamiliesFor-sized family, while the same
+// workload on a default-cap family of comparable size falls back past
+// its fixed table.
+func TestEvalCountersPaletteHitRate(t *testing.T) {
+	const palette = 5000
+	sized, err := FamiliesFor(1013, 1, palette) // fresh key, palette-sized
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.RowsCached() != palette {
+		t.Fatalf("palette-sized table covers %d rows, want %d", sized.RowsCached(), palette)
+	}
+	var c EvalCounters
+	for x := 0; x < palette; x++ {
+		c.Count(sized, x)
+	}
+	stat := EvalStat{Hits: c.Hits(), Fallbacks: c.Fallbacks()}
+	if stat.Fallbacks != 0 || stat.HitRate() != 1 {
+		t.Fatalf("palette-sized family: %d fallbacks, hit rate %v; want 0 / 1",
+			stat.Fallbacks, stat.HitRate())
+	}
+
+	def, err := Families(1019, 1) // fresh key, default construction cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.RowsCached() >= palette {
+		t.Fatalf("default table covers %d rows; fallback regime unreachable", def.RowsCached())
+	}
+	var d EvalCounters
+	for x := 0; x < palette; x++ {
+		d.Count(def, x)
+	}
+	if d.Hits() != int64(def.RowsCached()) || d.Fallbacks() != int64(palette-def.RowsCached()) {
+		t.Fatalf("default-cap family hits=%d fallbacks=%d, want %d/%d",
+			d.Hits(), d.Fallbacks(), def.RowsCached(), palette-def.RowsCached())
+	}
+}
+
 // TestEvalCountersConcurrent pins exactness under concurrency (run with
 // -race): N goroutines of K counts each must sum to exactly N*K.
 func TestEvalCountersConcurrent(t *testing.T) {

@@ -82,6 +82,68 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzReadBinaryShards pins the streaming per-shard reader to the flat
+// reader: on every input the two must agree error-or-graph, and on
+// success produce identical adjacency (the engine's port numbering).
+// The shard count is fuzzed alongside the bytes so boundary conditions
+// (empty vertex shards, k > n, cross-shard edges at cut points) fall out
+// of exploration rather than hand-picked cases.
+func FuzzReadBinaryShards(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	for _, g := range []*Graph{NewBuilder(0).Build(), Path(3), Gnp(60, 0.1, rng)} {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), 4)
+	}
+	var shardy bytes.Buffer
+	if err := Grid(6, 6).WriteBinarySharded(&shardy, 5); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(shardy.Bytes(), 1)
+	f.Add(shardy.Bytes(), 0) // auto
+	f.Add(shardy.Bytes(), 100)
+	f.Add(shardy.Bytes()[:len(shardy.Bytes())-3], 2) // truncated mid-record
+	f.Add([]byte("DCG1"), 2)
+	f.Add([]byte{}, 3)
+
+	f.Fuzz(func(t *testing.T, data []byte, shards int) {
+		if shards > MaxShards {
+			shards = MaxShards
+		}
+		if len(data) >= 16 && binary.LittleEndian.Uint64(data[8:16]) > 1<<21 {
+			t.Skip("oversized declared n")
+		}
+		flat, flatErr := ReadBinary(bytes.NewReader(data))
+		g, sh, err := ReadBinaryShards(bytes.NewReader(data), shards)
+		if (err == nil) != (flatErr == nil) {
+			t.Fatalf("readers disagree: sharded err=%v, flat err=%v", err, flatErr)
+		}
+		if err != nil {
+			return
+		}
+		checkParsedGraph(t, g)
+		if g.N() != flat.N() || g.M() != flat.M() {
+			t.Fatalf("sharded %d/%d vs flat %d/%d", g.N(), g.M(), flat.N(), flat.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			a, b := g.Neighbors(v), flat.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("vertex %d: sharded degree %d, flat %d", v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("vertex %d adjacency diverges at %d: %d vs %d", v, i, a[i], b[i])
+				}
+			}
+		}
+		if sh.N() != g.N() || sh.NumShards() < 1 {
+			t.Fatalf("sharding %d vertices in %d shards for n=%d", sh.N(), sh.NumShards(), g.N())
+		}
+	})
+}
+
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add([]byte("4 3\n0 1\n1 2\n2 3\n"))
 	f.Add([]byte("0 0\n"))

@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestNewShardingBalanced(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 3}, {10, 1}, {10, 3}, {10, 10},
+		{10, 16}, {1000, 7}, {1 << 18, 4}, {5, MaxShards},
+	}
+	for _, c := range cases {
+		sh, err := NewSharding(c.n, c.k)
+		if err != nil {
+			t.Fatalf("NewSharding(%d,%d): %v", c.n, c.k, err)
+		}
+		if sh.NumShards() != c.k || sh.N() != c.n {
+			t.Fatalf("NewSharding(%d,%d): got %d shards over %d vertices", c.n, c.k, sh.NumShards(), sh.N())
+		}
+		total, minLen, maxLen := 0, c.n, 0
+		prev := 0
+		for s := 0; s < sh.NumShards(); s++ {
+			lo, hi := sh.Bounds(s)
+			if lo != prev || hi < lo {
+				t.Fatalf("NewSharding(%d,%d): shard %d bounds [%d,%d) after %d", c.n, c.k, s, lo, hi, prev)
+			}
+			prev = hi
+			l := sh.Len(s)
+			total += l
+			minLen = min(minLen, l)
+			maxLen = max(maxLen, l)
+			for v := lo; v < hi; v++ {
+				if sh.ShardOf(v) != s {
+					t.Fatalf("NewSharding(%d,%d): ShardOf(%d)=%d, want %d", c.n, c.k, v, sh.ShardOf(v), s)
+				}
+			}
+		}
+		if total != c.n {
+			t.Fatalf("NewSharding(%d,%d): shard lengths sum to %d", c.n, c.k, total)
+		}
+		if c.n > 0 && maxLen-minLen > 1 {
+			t.Fatalf("NewSharding(%d,%d): unbalanced lengths [%d,%d]", c.n, c.k, minLen, maxLen)
+		}
+	}
+}
+
+func TestNewShardingRejectsBadCounts(t *testing.T) {
+	for _, k := range []int{0, -1, MaxShards + 1} {
+		if _, err := NewSharding(10, k); err == nil {
+			t.Fatalf("NewSharding(10,%d) accepted", k)
+		}
+	}
+	if _, err := NewSharding(-1, 2); err == nil {
+		t.Fatal("NewSharding(-1,2) accepted")
+	}
+}
+
+func TestShardingZeroValue(t *testing.T) {
+	var sh Sharding
+	if sh.NumShards() != 0 || sh.N() != 0 {
+		t.Fatalf("zero Sharding reports %d shards over %d vertices", sh.NumShards(), sh.N())
+	}
+}
+
+func TestAutoShardingDeterministicAndBounded(t *testing.T) {
+	for _, n := range []int{0, 1, 100, autoShardTarget - 1, autoShardTarget, autoShardTarget + 1, 10_000_000, 1 << 30} {
+		sh := AutoSharding(n)
+		if !reflect.DeepEqual(sh, AutoSharding(n)) {
+			t.Fatalf("AutoSharding(%d) not deterministic", n)
+		}
+		k := sh.NumShards()
+		if k < 1 || k > MaxShards || sh.N() != n {
+			t.Fatalf("AutoSharding(%d): %d shards over %d vertices", n, k, sh.N())
+		}
+		want := (n + autoShardTarget - 1) / autoShardTarget
+		want = max(1, min(want, MaxShards))
+		if k != want {
+			t.Fatalf("AutoSharding(%d): %d shards, want %d", n, k, want)
+		}
+	}
+}
+
+// shardedEqualsFlat loads enc through both readers and demands identical
+// graphs (same adjacency, hence identical engine port numbering).
+func shardedEqualsFlat(t *testing.T, enc []byte, shards int) (*Graph, Sharding) {
+	t.Helper()
+	flat, err := ReadBinary(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	g, sh, err := ReadBinaryShards(bytes.NewReader(enc), shards)
+	if err != nil {
+		t.Fatalf("ReadBinaryShards(%d): %v", shards, err)
+	}
+	if g.N() != flat.N() || g.M() != flat.M() {
+		t.Fatalf("ReadBinaryShards(%d): sizes %d/%d, flat %d/%d", shards, g.N(), g.M(), flat.N(), flat.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if !reflect.DeepEqual(g.Neighbors(v), flat.Neighbors(v)) {
+			t.Fatalf("ReadBinaryShards(%d): vertex %d adjacency %v, flat %v", shards, v, g.Neighbors(v), flat.Neighbors(v))
+		}
+	}
+	return g, sh
+}
+
+func TestReadBinaryShardsMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := map[string]*Graph{
+		"empty":     NewBuilder(0).Build(),
+		"isolated":  NewBuilder(9).Build(),
+		"path":      Path(40),
+		"grid":      Grid(7, 9),
+		"gnp":       Gnp(200, 0.05, rng),
+		"regularly": RandomRegularish(300, 8, rng),
+	}
+	for name, g := range graphs {
+		for _, shardSize := range []int{1, 3, DefaultBinaryShard} {
+			var buf bytes.Buffer
+			if err := g.WriteBinarySharded(&buf, shardSize); err != nil {
+				t.Fatal(err)
+			}
+			// Shard counts below, at, and above n; 0 selects auto.
+			for _, k := range []int{0, 1, 2, 4, 7, g.N() + 3} {
+				if k > MaxShards {
+					continue
+				}
+				got, sh := shardedEqualsFlat(t, buf.Bytes(), k)
+				if k >= 1 && sh.NumShards() != k {
+					t.Fatalf("%s: asked for %d shards, got %d", name, k, sh.NumShards())
+				}
+				if sh.N() != got.N() {
+					t.Fatalf("%s: sharding covers %d of %d vertices", name, sh.N(), got.N())
+				}
+			}
+		}
+	}
+}
+
+// Cross-shard edges sitting exactly on shard boundaries must land in
+// both endpoint shards' backings.
+func TestReadBinaryShardsBoundaryEdges(t *testing.T) {
+	sh, err := NewSharding(12, 4) // cuts at 0,3,6,9,12
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(12)
+	for k := 0; k < sh.NumShards()-1; k++ {
+		_, hi := sh.Bounds(k)
+		// last vertex of shard k <-> first vertex of shard k+1
+		if err := b.AddEdge(hi-1, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.Build().WriteBinarySharded(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := shardedEqualsFlat(t, buf.Bytes(), 4)
+	if g.M() != 3 {
+		t.Fatalf("boundary chain has %d edges, want 3", g.M())
+	}
+}
+
+func TestReadBinaryShardsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Grid(6, 6).WriteBinarySharded(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	// Truncations inside the header, at a shard-count boundary, and
+	// mid-record must all error, never panic, in both passes.
+	for _, cut := range []int{0, 4, 27, 28, 30, 32, 35, len(enc) - 1} {
+		if _, _, err := ReadBinaryShards(bytes.NewReader(enc[:cut]), 3); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must error too.
+	if _, _, err := ReadBinaryShards(bytes.NewReader(append(append([]byte{}, enc...), 0)), 3); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestReadBinaryShardsRejectsBadCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Path(4).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBinaryShards(bytes.NewReader(buf.Bytes()), MaxShards+1); err == nil {
+		t.Fatalf("shard count %d accepted", MaxShards+1)
+	}
+}
+
+func TestOpenBinaryShards(t *testing.T) {
+	g := Grid(5, 8)
+	path := t.TempDir() + "/g.bin"
+	var buf bytes.Buffer
+	if err := g.WriteBinarySharded(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, sh, err := OpenBinaryShards(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() || sh.NumShards() != 4 {
+		t.Fatalf("OpenBinaryShards: n=%d m=%d shards=%d", got.N(), got.M(), sh.NumShards())
+	}
+	if _, _, err := OpenBinaryShards(path+".missing", 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStatBinary(t *testing.T) {
+	g := Grid(6, 6) // n=36, m=60
+	var buf bytes.Buffer
+	if err := g.WriteBinarySharded(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	st, err := StatBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BinStat{N: 36, M: 60, ShardSize: 7, Shards: 9}
+	if st != want {
+		t.Fatalf("StatBinary = %+v, want %+v", st, want)
+	}
+	if _, err := StatBinary(bytes.NewReader([]byte("not a graph file at all, tooshort"))); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+
+	path := t.TempDir() + "/g.bin"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := StatBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != want {
+		t.Fatalf("StatBinaryFile = %+v, want %+v", st2, want)
+	}
+	if _, err := StatBinaryFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStatBinaryEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBuilder(5).Build().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := StatBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 5 || st.M != 0 || st.Shards != 0 {
+		t.Fatalf("StatBinary = %+v", st)
+	}
+}

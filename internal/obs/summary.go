@@ -180,6 +180,66 @@ func Table(w io.Writer, phases []PhaseSummary) error {
 	return tw.Flush()
 }
 
+// ShardSummary aggregates one shard's slice of every sharded round in a
+// trace: peak live nodes, total messages, and summed step wall. Shards
+// are joined by index, so a trace mixing runs of different shard counts
+// aggregates per position; the WallShare column is the shard's fraction
+// of the summed step wall, the number to scan for imbalance.
+type ShardSummary struct {
+	Shard    int
+	Rounds   int // rounds in which the shard held live nodes
+	PeakLive int
+	Messages int64
+	Wall     time.Duration
+	// WallShare is Wall divided by the total over all shards (0 when no
+	// wall was recorded).
+	WallShare float64
+}
+
+// SummarizeShards aggregates the per-shard round stats of a trace,
+// returning nil when the trace carries none (flat runs).
+func SummarizeShards(tr *Trace) []ShardSummary {
+	var out []ShardSummary
+	for _, r := range tr.Rounds {
+		for j, ss := range r.Shards {
+			for j >= len(out) {
+				out = append(out, ShardSummary{Shard: len(out)})
+			}
+			s := &out[j]
+			if ss.Live > 0 {
+				s.Rounds++
+			}
+			if ss.Live > s.PeakLive {
+				s.PeakLive = ss.Live
+			}
+			s.Messages += ss.Messages
+			s.Wall += time.Duration(ss.WallNS)
+		}
+	}
+	var total time.Duration
+	for i := range out {
+		total += out[i].Wall
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].WallShare = float64(out[i].Wall) / float64(total)
+		}
+	}
+	return out
+}
+
+// ShardTable renders the per-shard aggregates as an aligned text table.
+func ShardTable(w io.Writer, shards []ShardSummary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SHARD\tROUNDS\tPEAK-LIVE\tMESSAGES\tSTEP-WALL\tWALL-SHARE")
+	for _, s := range shards {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%s\t%.3f\n",
+			s.Shard, s.Rounds, s.PeakLive, s.Messages,
+			s.Wall.Round(time.Microsecond), s.WallShare)
+	}
+	return tw.Flush()
+}
+
 // EvalTable renders the field-evaluation snapshot as an aligned table,
 // sorted by total evaluations descending.
 func EvalTable(w io.Writer, stats []field.EvalStat) error {

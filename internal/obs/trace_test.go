@@ -123,6 +123,102 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeShards pins the per-shard aggregation and its round trip
+// through the JSONL envelope: a sharded probed run's shard stats must
+// survive encode/decode and sum consistently per shard index.
+func TestSummarizeShards(t *testing.T) {
+	tr := &Trace{
+		Rounds: []dist.RoundRecord{
+			{Run: 1, Round: 1, Live: 5, Messages: 9, Shards: []dist.ShardRoundStat{
+				{Live: 3, Messages: 6, WallNS: 300},
+				{Live: 2, Messages: 3, WallNS: 100},
+			}},
+			{Run: 1, Round: 2, Live: 2, Messages: 4, Shards: []dist.ShardRoundStat{
+				{Live: 2, Messages: 4, WallNS: 200},
+				{Live: 0, Messages: 0, WallNS: 0},
+			}},
+		},
+	}
+	shards := SummarizeShards(tr)
+	if len(shards) != 2 {
+		t.Fatalf("%d shard summaries, want 2", len(shards))
+	}
+	s0, s1 := shards[0], shards[1]
+	if s0.Rounds != 2 || s0.PeakLive != 3 || s0.Messages != 10 || s0.Wall != 500 {
+		t.Fatalf("shard 0 summary %+v", s0)
+	}
+	if s1.Rounds != 1 || s1.PeakLive != 2 || s1.Messages != 3 || s1.Wall != 100 {
+		t.Fatalf("shard 1 summary %+v", s1)
+	}
+	if want := 500.0 / 600.0; s0.WallShare != want {
+		t.Fatalf("shard 0 wall share %v, want %v", s0.WallShare, want)
+	}
+	var out strings.Builder
+	if err := ShardTable(&out, shards); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SHARD") || !strings.Contains(out.String(), "WALL-SHARE") {
+		t.Fatalf("shard table missing content:\n%s", out.String())
+	}
+	// Flat traces summarize to nothing.
+	if got := SummarizeShards(&Trace{Rounds: []dist.RoundRecord{{Run: 1, Round: 1}}}); got != nil {
+		t.Fatalf("flat trace produced shard summaries: %+v", got)
+	}
+}
+
+// TestShardStatsRoundTrip drives a sharded probed run through the JSONL
+// writer and reader, checking the per-shard round stats survive.
+func TestShardStatsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	p := dist.NewProbe(tw)
+
+	rng := rand.New(rand.NewSource(23))
+	g := graph.ForestUnion(200, 3, rng)
+	sh, err := graph.NewSharding(g.N(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dist.NewNetworkPermuted(g, rng).Sharded(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.WithProbe(p).Run(flood{rounds: 5}, dist.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 1 || tr.Runs[0].Shards != 4 {
+		t.Fatalf("decoded run shards %+v", tr.Runs)
+	}
+	var total int64
+	for _, r := range tr.Rounds {
+		if len(r.Shards) != 4 {
+			t.Fatalf("round %d decoded %d shard stats", r.Round, len(r.Shards))
+		}
+		var live int
+		var msgs int64
+		for _, ss := range r.Shards {
+			live += ss.Live
+			msgs += ss.Messages
+		}
+		if live != r.Live || msgs != r.Messages {
+			t.Fatalf("round %d shard stats inconsistent after decode", r.Round)
+		}
+		total += msgs
+	}
+	if total != res.Messages {
+		t.Fatalf("decoded shard messages sum to %d, want %d", total, res.Messages)
+	}
+}
+
 // TestReadTraceSkipsUnknownTypes pins forward compatibility.
 func TestReadTraceSkipsUnknownTypes(t *testing.T) {
 	in := strings.NewReader(

@@ -240,19 +240,27 @@ func initNode(n *dist.Node) (int, bool) {
 }
 
 // stepFamilies resolves the memoized family of every step once, at Init,
-// so the step loop only indexes a slice.
+// so the step loop only indexes a slice. Each family's row table is
+// sized to the step's actual palette bound (field.FamiliesFor): step 0
+// evaluates colors in [0, M0), step i colors in [0, Q_{i-1}^2), so the
+// shared cache grows exactly to what the schedule's evaluation loop
+// will index instead of the fixed construction cap. Both the boxed and
+// the word plane resolve families through here, so their hit rates
+// match.
 func stepFamilies(plan Schedule) []*field.Family {
 	if len(plan.Steps) == 0 {
 		return nil
 	}
 	fams := make([]*field.Family, len(plan.Steps))
+	palette := plan.M0
 	for i, step := range plan.Steps {
-		fam, err := field.Families(step.Q, step.D)
+		fam, err := field.FamiliesFor(step.Q, step.D, palette)
 		if err != nil {
 			// Unreachable: schedules only contain prime moduli (Validate).
 			panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
 		}
 		fams[i] = fam
+		palette = step.Q * step.Q
 	}
 	return fams
 }

@@ -106,6 +106,56 @@ func TestEvalStatsWordMatchesBoxed(t *testing.T) {
 	}
 }
 
+// TestStepFamiliesPaletteHitRate pins the palette-sized row tables end
+// to end: stepFamilies sizes every step's table to its actual palette
+// bound (m_0 = M0, m_i = Q_{i-1}^2), so a full run whose bounds fit
+// under the growth ceiling evaluates with zero Horner fallbacks - hit
+// rate 1 on every step counter.
+func TestStepFamiliesPaletteHitRate(t *testing.T) {
+	defer func() {
+		field.SetEvalStats(false)
+		field.ResetEvalStats()
+	}()
+	rng := rand.New(rand.NewSource(71))
+	g := graph.RandomRegularish(2000, 4, rng)
+	n := g.N()
+	p := Params{Color: -1, M0: n, DegBound: g.MaxDegree(), TargetDefect: 0}
+	plan := Plan(p.M0, p.DegBound, p.TargetDefect)
+	if len(plan.Steps) == 0 {
+		t.Fatal("schedule degenerate; pick a sparser test graph")
+	}
+
+	fams := stepFamilies(plan)
+	palette := plan.M0
+	for i, fam := range fams {
+		if want := min(palette, fam.Size()); fam.RowsCached() < want {
+			t.Fatalf("step %d table covers %d rows, palette bound is %d", i, fam.RowsCached(), want)
+		}
+		palette = plan.Steps[i].Q * plan.Steps[i].Q
+	}
+
+	field.SetEvalStats(true)
+	field.ResetEvalStats()
+	net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(9)))
+	dst := make([]int, n)
+	if _, err := RunUniform(net, p, nil, nil, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	snap := field.EvalStatsSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("counted run registered no counters")
+	}
+	for _, s := range snap {
+		if s.Total() == 0 {
+			continue
+		}
+		if s.Fallbacks != 0 || s.HitRate() != 1 {
+			t.Fatalf("step %d (q=%d d=%d): %d fallbacks, hit rate %v; want 0 / 1",
+				s.Step, s.Q, s.D, s.Fallbacks, s.HitRate())
+		}
+	}
+}
+
 // TestEvalStatsDisabledCostsNothing pins the opt-out: with stats
 // disabled the algorithm resolves no counters and a run registers
 // nothing.
