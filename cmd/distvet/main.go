@@ -1,0 +1,202 @@
+// Command distvet runs the engine-invariant analyzer suite
+// (internal/analysis/distvet) over this module.
+//
+// Standalone mode (the CI entry point):
+//
+//	go run ./cmd/distvet ./...
+//
+// loads, type-checks and analyzes every module package (test files
+// excluded) and prints findings as file:line:col: message (analyzer),
+// exiting 1 when any are found.
+//
+// Vet-tool mode: the binary also speaks the `go vet -vettool` unit
+// protocol (-V=full version fingerprint; a single *.cfg JSON argument
+// describing one compilation unit), so
+//
+//	go build -o distvet ./cmd/distvet && go vet -vettool=$PWD/distvet ./...
+//
+// runs the same suite under the go command's caching and diagnostics
+// plumbing.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/distvet"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version (go vet protocol; -V=full)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
+	flagsFlag := flag.Bool("flags", false, "describe flags as JSON (vet protocol)")
+	flag.Parse()
+	args := flag.Args()
+
+	if *flagsFlag {
+		// The go command asks for the tool's analyzer flags; distvet's
+		// suite is not individually toggleable.
+		fmt.Println("[]")
+		return
+	}
+
+	if *versionFlag != "" {
+		// The go command fingerprints vet tools by name and content hash.
+		name := filepath.Base(os.Args[0])
+		if *versionFlag == "full" {
+			h := sha256.New()
+			if exe, err := os.Executable(); err == nil {
+				if f, err := os.Open(exe); err == nil {
+					io.Copy(h, f)
+					f.Close()
+				}
+			}
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+		} else {
+			fmt.Printf("%s version devel\n", name)
+		}
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], *jsonFlag))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, distvet.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "distvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// unitConfig is the JSON configuration the go command hands a vet tool
+// for one compilation unit (the x/tools unitchecker schema; unknown
+// fields are ignored).
+type unitConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet compilation unit and returns the process exit
+// code: 0 clean, 2 findings (the go command surfaces stderr on exit 2).
+func runUnit(cfgFile string, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "distvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// distvet carries no cross-package facts, but the protocol requires a
+	// facts file so the go command can cache the (empty) result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("distvet: no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, distvet.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if asJSON {
+		out := map[string]map[string][]map[string]string{cfg.ImportPath: {}}
+		for _, f := range findings {
+			out[cfg.ImportPath][f.Analyzer] = append(out[cfg.ImportPath][f.Analyzer], map[string]string{
+				"posn": f.Posn.String(), "message": f.Message,
+			})
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,340 @@
+// Command escapecheck verifies that the functions annotated
+// //distvet:noalloc (the engine's declared hot paths; see
+// internal/analysis/distvet) keep their compiler-observed heap behavior
+// pinned. It runs the gc escape analysis over the packages that declare
+// annotated functions, keeps the "escapes to heap" / "moved to heap"
+// diagnostics whose position falls inside an annotated function, and
+// diffs the normalized set against a checked-in baseline:
+//
+//	go run ./cmd/escapecheck            # diff against ESCAPES.baseline
+//	go run ./cmd/escapecheck -update    # rewrite the baseline
+//	go run ./cmd/escapecheck -gcflags='-m -l'   # nightly: no inlining
+//
+// The baseline records line-number-free entries of the form
+//
+//	<import path>.<function>: <diagnostic> (xN)
+//
+// so routine edits that only move code do not churn it; a NEW escape on
+// a hot path (or one that disappears - also worth knowing) shows up as
+// a one-line diff and fails the build. distvet's hotalloc analyzer
+// rejects allocating constructs syntactically; escapecheck closes the
+// gap the compiler controls: escapes introduced by inlining, captured
+// variables, or parameter leaks that no syntax check can see.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline instead of diffing")
+	gcflags := flag.String("gcflags", "-m -m", "flags passed to the compiler (nightly adds inlining-budget variants)")
+	baseline := flag.String("baseline", "ESCAPES.baseline", "baseline file, relative to the module root")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns, *gcflags, *baseline, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(2)
+	}
+}
+
+// span is the source extent of one annotated function.
+type span struct {
+	file       string // module-root-relative path, slash-separated
+	start, end int    // line range, inclusive
+	qualified  string // importpath.Recv.Func
+}
+
+func run(patterns []string, gcflags, baselineFile string, update bool) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	pkgs, err := listPackages(root, patterns)
+	if err != nil {
+		return err
+	}
+	var spans []span
+	var buildPkgs []string
+	for _, p := range pkgs {
+		ss, err := annotatedSpans(root, p)
+		if err != nil {
+			return err
+		}
+		if len(ss) > 0 {
+			spans = append(spans, ss...)
+			buildPkgs = append(buildPkgs, p.ImportPath)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no //distvet:noalloc functions found in %v", patterns)
+	}
+	diags, err := escapeDiagnostics(root, gcflags, buildPkgs)
+	if err != nil {
+		return err
+	}
+	got := normalize(spans, diags)
+
+	path := filepath.Join(root, baselineFile)
+	if update {
+		if err := os.WriteFile(path, []byte(render(got, gcflags)), 0o666); err != nil {
+			return err
+		}
+		fmt.Printf("escapecheck: wrote %d entries to %s\n", len(got), baselineFile)
+		return nil
+	}
+	wantData, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%v (run with -update to create the baseline)", err)
+	}
+	want := parseBaseline(wantData)
+	if diff := diffSets(want, got); len(diff) > 0 {
+		for _, d := range diff {
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "escapecheck: hot-path escape set differs from %s (%d line(s)); fix the escape or run -update with a justification in the commit\n", baselineFile, len(diff))
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: %d hot-path escape entries match %s\n", len(got), baselineFile)
+	return nil
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func listPackages(root string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %v\n%s", err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	var pkgs []listedPkg
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		pkgs = append(pkgs, listedPkg{
+			ImportPath: parts[0],
+			Dir:        parts[1],
+			GoFiles:    strings.Fields(parts[2]),
+		})
+	}
+	return pkgs, nil
+}
+
+// annotatedSpans parses the package's non-test files and returns the
+// extent of every function whose doc comment carries //distvet:noalloc.
+func annotatedSpans(root string, p listedPkg) ([]span, error) {
+	var spans []span
+	fset := token.NewFileSet()
+	for _, name := range p.GoFiles {
+		full := filepath.Join(p.Dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Contains(src, []byte("//distvet:noalloc")) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, full)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			marked := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//distvet:noalloc") {
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				continue
+			}
+			spans = append(spans, span{
+				file:      rel,
+				start:     fset.Position(fd.Pos()).Line,
+				end:       fset.Position(fd.End()).Line,
+				qualified: p.ImportPath + "." + funcName(fd),
+			})
+		}
+	}
+	return spans, nil
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+type diag struct {
+	file    string
+	line    int
+	message string
+}
+
+// diagRE matches the compiler's position-prefixed diagnostics. Indented
+// continuation lines (-m -m explanations) deliberately do not match.
+var diagRE = regexp.MustCompile(`^([^ \t:][^:]*\.go):(\d+):(\d+): (.*)$`)
+
+// escapeDiagnostics compiles the packages with the requested -gcflags and
+// returns every escape line. The gc driver replays cached diagnostics, so
+// repeated runs are cheap; -o is discarded.
+func escapeDiagnostics(root, gcflags string, pkgs []string) ([]diag, error) {
+	args := append([]string{"build", "-gcflags=" + gcflags}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=%s: %v\n%s", gcflags, err, out)
+	}
+	var diags []diag
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := diagRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		// Under -m -m each escape appears twice: a plain line and an
+		// explanation header ending in ":". Trim the colon so both
+		// normalize to one entry (with multiplicity 2).
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		diags = append(diags, diag{file: filepath.ToSlash(m[1]), line: line, message: msg})
+	}
+	return diags, nil
+}
+
+// normalize maps in-span diagnostics to stable, line-number-free entries
+// "qualified: message" with multiplicity counts.
+func normalize(spans []span, diags []diag) map[string]int {
+	got := make(map[string]int)
+	for _, d := range diags {
+		for _, s := range spans {
+			if d.file == s.file && d.line >= s.start && d.line <= s.end {
+				got[s.qualified+": "+d.message]++
+				break
+			}
+		}
+	}
+	return got
+}
+
+func render(set map[string]int, gcflags string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# escapecheck baseline: compiler-observed heap escapes inside //distvet:noalloc functions.\n")
+	fmt.Fprintf(&b, "# Regenerate with: go run ./cmd/escapecheck -gcflags='%s' -update\n", gcflags)
+	for _, k := range sortedKeys(set) {
+		if n := set[k]; n > 1 {
+			fmt.Fprintf(&b, "%s (x%d)\n", k, n)
+		} else {
+			fmt.Fprintf(&b, "%s\n", k)
+		}
+	}
+	return b.String()
+}
+
+var countRE = regexp.MustCompile(` \(x(\d+)\)$`)
+
+func parseBaseline(data []byte) map[string]int {
+	want := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n := 1
+		if m := countRE.FindStringSubmatch(line); m != nil {
+			n, _ = strconv.Atoi(m[1])
+			line = strings.TrimSuffix(line, m[0])
+		}
+		want[line] = n
+	}
+	return want
+}
+
+// diffSets renders the symmetric difference as +/- lines, sorted.
+func diffSets(want, got map[string]int) []string {
+	var out []string
+	for _, k := range sortedKeys(got) {
+		if want[k] != got[k] {
+			out = append(out, fmt.Sprintf("+ %s (x%d, baseline x%d)", k, got[k], want[k]))
+		}
+	}
+	for _, k := range sortedKeys(want) {
+		if _, ok := got[k]; !ok {
+			out = append(out, fmt.Sprintf("- %s (baseline x%d, now absent)", k, want[k]))
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

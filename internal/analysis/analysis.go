@@ -1,0 +1,111 @@
+// Package analysis is a self-contained, dependency-free re-implementation
+// of the core golang.org/x/tools/go/analysis surface: Analyzer, Pass and
+// Diagnostic, plus a loader that type-checks the packages of the current
+// module against the gc export data produced by `go list -export`.
+//
+// The repository vendors no third-party modules and builds offline, so the
+// real x/tools module is not available; this package keeps the same shape
+// (an Analyzer owns a Run function over a Pass; a Pass carries the
+// package's syntax, type information and a Report sink) so the distvet
+// analyzers (internal/analysis/distvet) read like standard vet analyzers
+// and could be ported to the upstream driver by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics; Doc is
+// the one-paragraph help text; Run performs the check on a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer and one package. The driver
+// constructs a fresh Pass per (analyzer, package) pair.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report collects diagnostics; use Report/Reportf.
+	report func(Diagnostic)
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with Sprintf formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. Analyzer is filled
+// in by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Finding is a positioned diagnostic ready for printing or comparison.
+type Finding struct {
+	Posn     token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line, column, then analyzer name. Analyzer errors (not
+// diagnostics) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Posn:     pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+					Analyzer: a.Name,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs analyzers over testdata fixture packages and
+// checks their diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: a comment
+//
+//	code() // want `regexp` `another`
+//
+// on a source line asserts that each listed pattern matches exactly one
+// diagnostic reported on that line, and every diagnostic must be claimed
+// by a pattern. Patterns are backquoted or double-quoted Go strings. The
+// block form `/* want "re" */` asserts the same thing; it exists for
+// lines that already end in a //distvet: directive, which a second line
+// comment could not follow.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture packages under dir (an analysistest source root:
+// dir/<path>/*.go) and applies the analyzer, failing t on any mismatch
+// between reported diagnostics and the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixture(dir, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					posn := pkg.Fset.Position(c.Pos())
+					pats, perr := parseWant(c.Text)
+					if perr != nil {
+						t.Fatalf("%s: %v", posn, perr)
+					}
+					if len(pats) == 0 {
+						continue
+					}
+					k := wantKey{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], pats...)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]int)
+	for _, f := range findings {
+		k := wantKey{f.Posn.Filename, f.Posn.Line}
+		var hit *regexp.Regexp
+		for _, pat := range wants[k] {
+			if matched[pat] == 0 && pat.MatchString(f.Message) {
+				hit = pat
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Posn, f.Message)
+			continue
+		}
+		matched[hit]++
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if matched[pat] == 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, pat)
+			}
+		}
+	}
+}
+
+// parseWant extracts the patterns of a `// want` comment; a comment
+// without the directive yields no patterns.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	if strings.HasPrefix(text, "/*") {
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	} else {
+		text = strings.TrimPrefix(text, "//")
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var pats []*regexp.Regexp
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			lit = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			// Find the closing quote respecting escapes via strconv.
+			q, err := quotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", rest, err)
+			}
+			unq, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", q, err)
+			}
+			lit = unq
+			rest = strings.TrimSpace(rest[len(q):])
+		default:
+			return nil, fmt.Errorf("bad want pattern start %q", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want pattern %q: %v", lit, err)
+		}
+		pats = append(pats, re)
+	}
+	return pats, nil
+}
+
+// quotedPrefix returns the leading double-quoted Go string literal of s.
+func quotedPrefix(s string) (string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string")
+}

@@ -1,0 +1,70 @@
+package distvet
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, testdata(t), DeterminismAnalyzer, "a/internal/recolor")
+}
+
+func TestDeterminismIgnoresNonEnginePackages(t *testing.T) {
+	// The hotalloc fixture allocates and converts freely, but its path is
+	// not an engine package: determinism must stay silent there (its want
+	// comments belong to the hotalloc analyzer, so assert directly).
+	pkgs, err := analysis.LoadFixture(testdata(t), "hotalloc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("determinism fired outside an engine package: %s", f)
+	}
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, testdata(t), HotAllocAnalyzer, "hotalloc")
+}
+
+func TestWordIO(t *testing.T) {
+	analysistest.Run(t, testdata(t), WordIOAnalyzer, "wordio")
+}
+
+func TestFailPath(t *testing.T) {
+	analysistest.Run(t, testdata(t), FailPathAnalyzer, "failpath")
+}
+
+// TestRepoClean is the self-test the CI lint job mirrors: the module's
+// own packages must carry zero diagnostics from the full suite.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("distvet: %d finding(s) in the repo; fix or annotate with a justification", len(findings))
+	}
+}

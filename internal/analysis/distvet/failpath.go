@@ -1,0 +1,76 @@
+package distvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// FailPathAnalyzer flags the pre-word-plane error idiom of assigning an
+// error value to dist.Node.Output ("n.Output = err"). Only the boxed
+// []any plane can carry it, the word plane silently drops it, and the
+// engine has a first-class replacement: Node.Fail records the error in
+// the per-run slot (smallest failing vertex wins, deterministically) and
+// aborts the run at the end of the round on every transport.
+var FailPathAnalyzer = &analysis.Analyzer{
+	Name: "failpath",
+	Doc:  "flag error values smuggled through dist.Node.Output instead of Node.Fail",
+	Run:  runFailPath,
+}
+
+func runFailPath(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(node ast.Node) bool {
+			assign, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Output" || !isNodeField(pass, sel) {
+					continue
+				}
+				if i >= len(assign.Rhs) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[assign.Rhs[i]]
+				if !ok || tv.IsNil() {
+					continue
+				}
+				if types.Implements(tv.Type, errType) {
+					pass.Reportf(assign.Pos(), "error smuggled through Node.Output (only the boxed plane carries it); use n.Fail(err) / n.Failf - the run aborts deterministically on every transport")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNodeField reports whether sel selects a field of dist.Node.
+func isNodeField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Node" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/dist" || isSuffix(path, "/internal/dist")
+}
+
+func isSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}

@@ -1,0 +1,13 @@
+package distvet
+
+import "repro/internal/analysis"
+
+// Analyzers returns the full distvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DeterminismAnalyzer,
+		HotAllocAnalyzer,
+		WordIOAnalyzer,
+		FailPathAnalyzer,
+	}
+}

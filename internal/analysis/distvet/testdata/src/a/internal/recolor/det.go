@@ -1,0 +1,100 @@
+// Package recolor exercises the determinism analyzer: its fixture path
+// ends in internal/recolor, so it counts as an engine package.
+package recolor
+
+import (
+	"math/rand"
+	"time"
+
+	"internal/dist"
+)
+
+func clocks() {
+	t := time.Now()   // want `engine code reads the wall clock \(time.Now\)`
+	_ = time.Since(t) // want `engine code reads the wall clock \(time.Since\)`
+}
+
+// sanctioned is a whole-function timing site.
+//
+//distvet:wallclock fixture: this function exists to time a probe
+func sanctioned() int64 {
+	start := time.Now()
+	return time.Since(start).Nanoseconds()
+}
+
+func sanctionedSite() {
+	_ = time.Now() //distvet:wallclock fixture: a justified per-site exception
+}
+
+func unjustified() {
+	_ = time.Now() /* want "annotation requires a justification" */ //distvet:wallclock
+}
+
+func ambient() int {
+	return rand.Intn(3) // want `engine code uses ambient randomness \(math/rand\.Intn\)`
+}
+
+// injected randomness is fine: the caller owns the seed, the engine only
+// calls methods on the value. Naming the rand.Rand TYPE is also fine.
+func injected(r *rand.Rand) int {
+	return r.Intn(3)
+}
+
+func mapSend(n *dist.Node, m map[int]int) {
+	for k := range m {
+		n.SendWord(0, int64(k)) // want `map iteration feeds SendWord`
+	}
+}
+
+func mapAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to a slice declared outside the loop`
+	}
+	return out
+}
+
+func mapIndexWrite(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `map iteration writes through a positional index not derived from the key`
+		i++
+	}
+}
+
+// perKeyWrite is order-free: each key owns its slot.
+func perKeyWrite(m map[int]int, counts []int) {
+	for k, v := range m {
+		counts[k] += v
+	}
+}
+
+// insideAppend is order-free: the slice dies inside the iteration.
+func insideAppend(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		local := []int{}
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+func annotatedUnordered(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//distvet:unordered fixture: the caller sorts the result
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func unorderedNoReason(m map[int]int) []int {
+	var out []int
+	for k := range m { /* want "annotation requires a justification" */ //distvet:unordered
+		out = append(out, k)
+	}
+	return out
+}

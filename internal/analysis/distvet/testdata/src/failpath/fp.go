@@ -1,0 +1,32 @@
+// Package failpath exercises the failpath analyzer.
+package failpath
+
+import (
+	"errors"
+	"fmt"
+
+	"internal/dist"
+)
+
+type algo struct{}
+
+func (algo) Init(n *dist.Node) {
+	n.Output = errors.New("boom") // want `error smuggled through Node\.Output`
+}
+
+func (algo) Step(n *dist.Node, inbox []dist.Message) {
+	err := fmt.Errorf("vertex broke")
+	n.Output = err // want `error smuggled through Node\.Output`
+	n.Output = 3   // a non-error output is the normal result path
+	n.Output = nil // clearing the slot is fine
+	n.Fail(err)    // the first-class error path
+	n.Failf("vertex %d broke", n.ID())
+}
+
+// notNode has an Output field too; assigning an error to it is fine -
+// only dist.Node's slot feeds the engine's result decoding.
+type notNode struct{ Output any }
+
+func otherOutput(x *notNode) {
+	x.Output = errors.New("unrelated")
+}

@@ -1,0 +1,57 @@
+// Package hotalloc exercises the hotalloc analyzer. The analyzer is not
+// engine-path-gated: any //distvet:noalloc function anywhere is checked.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type scratch struct{ buf []int }
+
+//distvet:noalloc
+func hot(buf []int, n int) int {
+	s := make([]int, n)          // want `noalloc function calls make`
+	buf = append(buf, n)         // want `noalloc function calls append`
+	p := &point{1, 2}            // want `takes the address of a composite literal`
+	f := func() int { return n } // want `contains a function literal`
+	lit := []int{1, 2, 3}        // want `contains a slice literal`
+	m := map[int]int{}           // want `contains a map literal`
+	msg := fmt.Sprintf("%d", n)  // want `calls allocating helper fmt\.Sprintf`
+	b := []byte(msg)             // want `converts string to \[\]byte`
+	var iface any
+	iface = n // want `boxes a int into an interface-typed location`
+	var v point
+	v = point{n, n} // value struct literal: stack state, legal
+	_, _, _, _, _, _, _ = s, p, f, lit, m, b, iface
+	return buf[0] + v.x
+}
+
+//distvet:noalloc
+func pooled(sc *scratch, n int) {
+	if cap(sc.buf) < n {
+		sc.buf = make([]int, n) //distvet:alloc-ok fixture: one-time pooled growth
+	}
+	sc.buf = sc.buf[:n]
+}
+
+//distvet:noalloc
+func pooledNoReason(sc *scratch, n int) {
+	if cap(sc.buf) < n {
+		sc.buf = make([]int, n) /* want "annotation requires a justification" */ //distvet:alloc-ok
+	}
+}
+
+//distvet:noalloc
+func guarded(n int) int {
+	if n < 0 {
+		// Panic-terminated blocks are cold guard paths: the Sprintf is
+		// legal here.
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n * 2
+}
+
+// cold is not annotated: allocation is unremarkable.
+func cold(n int) []int {
+	return make([]int, n)
+}

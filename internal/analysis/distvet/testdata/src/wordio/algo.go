@@ -1,0 +1,59 @@
+// Package wordio exercises the wordio analyzer against the fixture dist
+// package's structurally-matched Node.
+package wordio
+
+import "internal/dist"
+
+// Good declares constant widths and uses them consistently.
+type Good struct{}
+
+func (Good) MessageWords() int { return 1 }
+func (Good) InputWidth() int   { return 0 }
+func (Good) OutputWidth() int  { return 1 }
+
+func (Good) StepWords(n *dist.Node, in dist.WordInbox) {
+	n.SendAllWord(1)
+	n.SendWord(0, 2)
+	n.SetOutputWord(3)
+}
+
+// Wide declares 2-word messages and outputs; the 1-word helpers disagree.
+type Wide struct{}
+
+func (Wide) MessageWords() int { return 2 }
+func (Wide) OutputWidth() int  { return 2 }
+
+func (Wide) StepWords(n *dist.Node, in dist.WordInbox) {
+	n.SendWord(0, 1)    // want `SendWord sends a 1-word message but Wide declares MessageWords\(\) == 2`
+	n.SendAllWord(1)    // want `SendAllWord sends a 1-word message but Wide declares MessageWords\(\) == 2`
+	n.SetOutputWord(3)  // want `SetOutputWord writes 1 word but Wide declares OutputWidth\(\) == 2`
+	n.SetOutputWords(1) // want `SetOutputWords writes 1 words but Wide declares OutputWidth\(\) == 2`
+	n.SetOutputWords(1, 2)
+	w := n.SendWords(0)
+	w[0], w[1] = 4, 5
+}
+
+// Runtime returns a width that depends on run-time state: the engine
+// sizes columns before the run, so this cannot work.
+type Runtime struct{ w int }
+
+func (r Runtime) MessageWords() int {
+	return r.w // want `MessageWords must return a compile-time constant width`
+}
+
+// Variant widths differ per variant but each return is constant: legal,
+// and excluded from call-site checking.
+type Variant struct{ arb bool }
+
+func (v Variant) MessageWords() int { return 1 }
+
+func (v Variant) InputWidth() int {
+	if v.arb {
+		return dist.PerPort
+	}
+	return 0
+}
+
+func (v Variant) StepWords(n *dist.Node, in dist.WordInbox) {
+	n.SendWord(0, 7)
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load type-checks the module packages matched by patterns (relative to
+// dir, e.g. "./...") and returns them ready for analysis. Dependencies -
+// both standard-library and intra-module - are imported from the gc
+// export data the go command produces, so loading a package costs one
+// parse and one type-check of its own files only.
+//
+// Test files are NOT loaded: the distvet invariants govern the engine
+// proper, and test helpers legitimately use wall clocks, randomness and
+// allocation-heavy idioms.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.Standard && e.Module != nil {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, e := range targets {
+		p, err := checkPackage(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadFixture loads the fixture packages named by paths from a testdata
+// source root laid out like x/tools analysistest: root/<path>/*.go is the
+// package with import path <path>. Fixture packages may import each other
+// (resolved from source, recursively) and the standard library (resolved
+// from gc export data via one `go list` call for the closure of imports).
+func LoadFixture(root string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	var parseDir func(path string) error
+	stdImports := make(map[string]bool)
+	parseDir = func(path string) error {
+		if _, ok := parsed[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("analysis: fixture %s: %w", path, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("analysis: fixture %s: %w", path, err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("analysis: fixture %s: no go files in %s", path, dir)
+		}
+		parsed[path] = files
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(ip))); err == nil {
+					if err := parseDir(ip); err != nil {
+						return err
+					}
+				} else {
+					stdImports[ip] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := parseDir(p); err != nil {
+			return nil, err
+		}
+	}
+
+	exports, err := exportData(stdImports)
+	if err != nil {
+		return nil, err
+	}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	checked := make(map[string]*Package)
+	var check func(path string) (*Package, error)
+	fixImp := importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := parsed[path]; ok {
+			p, err := check(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return gc.Import(path)
+	})
+	check = func(path string) (*Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		files := parsed[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: fixImp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", path, err)
+		}
+		p := &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}
+		checked[path] = p
+		return p, nil
+	}
+
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// exportData resolves gc export data files for the given import paths and
+// their transitive dependencies with one `go list -deps -export` call.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+	for p := range imports {
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list (std deps): %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}

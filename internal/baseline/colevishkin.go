@@ -50,13 +50,11 @@ type cvAlgo struct{}
 func (cvAlgo) Init(n *dist.Node) {
 	in, ok := n.Input.(cvInput)
 	if !ok {
-		n.Output = fmt.Errorf("baseline: bad cole-vishkin input %T", n.Input)
-		n.Halt()
+		n.Failf("baseline: bad cole-vishkin input %T", n.Input)
 		return
 	}
 	if in.ParentPort >= n.Degree() {
-		n.Output = fmt.Errorf("baseline: parent port %d out of range", in.ParentPort)
-		n.Halt()
+		n.Failf("baseline: parent port %d out of range", in.ParentPort)
 		return
 	}
 	st := &cvState{color: n.ID() - 1, reduceT: cvIterations(n.N())}

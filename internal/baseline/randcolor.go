@@ -52,8 +52,7 @@ func (st *rcState) propose(a randColorAlgo, n *dist.Node) {
 	}
 	if len(free) == 0 {
 		// Impossible when palette > degree; defensive.
-		n.Output = fmt.Errorf("baseline: palette exhausted")
-		n.Halt()
+		n.Failf("baseline: palette exhausted")
 		return
 	}
 	st.proposal = free[st.rng.Intn(len(free))]

@@ -25,8 +25,7 @@ type misState struct {
 func (misAlgo) Init(n *dist.Node) {
 	c, ok := n.Input.(int)
 	if !ok || c < 0 {
-		n.Output = fmt.Errorf("core: mis: bad color input %v", n.Input)
-		n.Halt()
+		n.Failf("core: mis: bad color input %v", n.Input)
 		return
 	}
 	n.State = &misState{}

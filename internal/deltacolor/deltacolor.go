@@ -159,7 +159,7 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
 		net.Probe().SetPhase(fmt.Sprintf("deltacolor/merge(d=%d)", lv.dBefore))
-		mergeStart := time.Now()
+		mergeStart := time.Now() //distvet:wallclock merge-phase wall attribution for the tally; wall figures are documented non-deterministic
 		dist.ParallelFor(n, workers, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				merged[v] = lv.classColor[v]*palette + colors[v]
@@ -174,7 +174,7 @@ func ColorWithin(net *dist.Network, baseLabels []int, active []bool, degBound in
 		palette = target
 		// The merge phase's wall includes the central palette-merge sweep,
 		// which precedes the reduction but belongs to this phase.
-		st.Wall = time.Since(mergeStart)
+		st.Wall = time.Since(mergeStart) //distvet:wallclock same merge-phase wall attribution
 		tally.AddStats(fmt.Sprintf("merge(d=%d)", lv.dBefore), st)
 	}
 

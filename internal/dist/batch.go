@@ -126,6 +126,8 @@ func (in WordInbox) Words(p int) []int64 {
 // returns its W-word outbox slot, zeroed at the first mark of the round;
 // the caller fills in the words. Subsequent calls in the same round
 // return the same slot (overwrite semantics, like Send).
+//
+//distvet:noalloc
 func (n *Node) SendWords(port int) []int64 {
 	if port < 0 || port >= len(n.ports) {
 		panic(fmt.Sprintf("dist: node id=%d sends on port %d of %d", n.id, port, len(n.ports)))
@@ -147,6 +149,8 @@ func (n *Node) SendWords(port int) []int64 {
 
 // SendWord sends the one-word message w on the given visible port. The
 // algorithm's width must be 1 (use SendWords for wider messages).
+//
+//distvet:noalloc
 func (n *Node) SendWord(port int, w int64) {
 	if n.width != 1 {
 		panic(fmt.Sprintf("dist: node id=%d uses SendWord with %d-word messages", n.id, n.width))
@@ -165,6 +169,8 @@ func (n *Node) SendWord(port int, w int64) {
 }
 
 // SendAllWord sends the one-word message w on every visible port.
+//
+//distvet:noalloc
 func (n *Node) SendAllWord(w int64) {
 	for p := range n.ports {
 		n.SendWord(p, w)
@@ -177,6 +183,8 @@ func (n *Node) SendAllWord(w int64) {
 // non-zeroed arrays of the run scratch - every flag a WordInbox reads was
 // cleared this run by its owner's step (clear(nd.wmark) below) or by
 // flushHaltClears, so stale content from earlier runs is never observed.
+//
+//distvet:noalloc
 func (s *simulation) stepSliceBatch(r, lo, hi int) {
 	w := s.width
 	cur := r % 2
@@ -206,6 +214,8 @@ func (s *simulation) stepSliceBatch(r, lo, hi int) {
 // previous round, in both parities. It runs between rounds, after the
 // halting sends have been delivered: a halted node no longer steps, so
 // nothing else clears the stale flags its final rounds left behind.
+//
+//distvet:noalloc
 func (s *simulation) flushHaltClears() {
 	if st := s.topo.shard; st != nil {
 		s.flushHaltClearsSharded(st)

@@ -301,13 +301,13 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //distvet:wallclock setup-vs-compute attribution (Result.Wall, RunRecord.SetupNS); wall figures are documented non-deterministic
 	s, err := newSimulation(net, algo, opts, batch)
 	if err != nil {
 		return nil, err
 	}
 	s.start = start
-	s.setupNS = time.Since(start).Nanoseconds()
+	s.setupNS = time.Since(start).Nanoseconds() //distvet:wallclock same setup-vs-compute attribution
 	return s.run()
 }
 
@@ -596,7 +596,7 @@ func (s *simulation) run() (*Result, error) {
 		OutputWords: s.outCol,
 		Rounds:      rounds,
 		Messages:    msgs,
-		Wall:        time.Since(s.start),
+		Wall:        time.Since(s.start), //distvet:wallclock Result.Wall is host-side observability, documented non-deterministic
 		PeakLive:    len(s.topo.live),
 	}, nil
 }
@@ -664,6 +664,12 @@ func (s *simulation) stepRound(r int) {
 	})
 }
 
+// stepSlice steps the live nodes in [lo, hi): per-round buffer rebinding,
+// inbox wiring and the Init/Step dispatch. This is the per-node round
+// loop; the only allocations on a steady-state round are the vertex
+// program's own.
+//
+//distvet:noalloc
 func (s *simulation) stepSlice(r, lo, hi int) {
 	if s.fw != nil {
 		if s.topo.shard != nil {

@@ -133,4 +133,34 @@
 // RunRecords also expose the session telemetry above (TopoCached,
 // ScratchPooled, setup vs. compute time), which is how cache behavior
 // is asserted in tests and surfaced in traces.
+//
+// # Static-analysis annotations
+//
+// The invariants above are machine-checked by the distvet suite
+// (internal/analysis/distvet, run by cmd/distvet and the CI lint job).
+// Engine code declares its sanctioned exceptions in source with
+// //distvet: directives:
+//
+//   - //distvet:wallclock <why> - on a site line or in a function's doc
+//     comment: a sanctioned wall-clock read. Only the probe/tally
+//     timing paths and the Result.Wall/SetupNS attribution qualify;
+//     everything those reads feed is documented non-deterministic.
+//   - //distvet:noalloc - in a function's doc comment: the function is
+//     on the per-vertex hot path and must contain no allocating
+//     constructs. The round loops (stepSlice and its batch/sharded
+//     twins, flushHaltClears), the word-plane Node accessors, and every
+//     InitWords/StepWords implementation carry it. cmd/escapecheck
+//     additionally pins the compiler's escape picture of these
+//     functions against ESCAPES.baseline.
+//   - //distvet:alloc-ok <why> - on a site line inside a noalloc
+//     function: a justified allocation, in practice only the amortized
+//     one-time growth of pooled scratch buffers.
+//   - //distvet:unordered <why> - on a map-range line in an engine
+//     package: the iteration is provably order-free (e.g. the result is
+//     sorted before anything observes it).
+//
+// Site directives attach to their own line or the line directly above;
+// every directive except noalloc requires a justification text, and a
+// missing justification is itself a diagnostic - `git grep distvet:`
+// therefore audits the complete exception list with reasons.
 package dist

@@ -303,6 +303,8 @@ func (net *Network) Probe() *Probe { return net.probe }
 // semantics (same step / flush / collect order), plus per-round timing
 // and record emission. Keeping it separate leaves the disabled path
 // untouched.
+//
+//distvet:wallclock the probed twin exists to measure rounds; every wall field it feeds is documented non-deterministic
 func (s *simulation) runProbed() (*Result, error) {
 	defer s.close()
 	p := s.net.probe
@@ -434,6 +436,8 @@ func (s *simulation) emitRun(p *Probe, seq int64, phase string, rounds int, msgs
 
 // stepRoundTimed is stepRound with per-chunk wall measurement; it
 // reports the fan-out used and the max/mean per-chunk step time.
+//
+//distvet:wallclock per-chunk step timing is this function's purpose; only non-deterministic wall telemetry depends on it
 func (s *simulation) stepRoundTimed(r int) (workers int, maxNS, meanNS int64) {
 	m := len(s.live)
 	w := s.sweepWorkers(m)

@@ -162,6 +162,8 @@ func growSlices[T any](s [][]T, k int) [][]T {
 // and the inbox view carries the previous parity's per-shard columns
 // plus the boundary table so delivery resolves cross-shard slots with
 // one extra byte read. The flat path keeps its own loop untouched.
+//
+//distvet:noalloc
 func (s *simulation) stepSliceBatchSharded(r, lo, hi int) {
 	w := s.width
 	cur := r % 2
@@ -195,6 +197,8 @@ func (s *simulation) stepSliceBatchSharded(r, lo, hi int) {
 }
 
 // flushHaltClearsSharded is flushHaltClears against shard-local columns.
+//
+//distvet:noalloc
 func (s *simulation) flushHaltClearsSharded(st *shardTopo) {
 	for _, v := range s.clearQ {
 		k := st.vshard[v]
@@ -222,6 +226,8 @@ func (s *simulation) liveShardSegs(st *shardTopo, segs []int) {
 // ISSUE's per-shard chunk wall). Only wall fields - documented as
 // non-deterministic - depend on this chunking; stepSlice is safe under
 // any partition of the live list, so results are unchanged.
+//
+//distvet:wallclock per-shard step timing is this function's purpose; only non-deterministic wall telemetry depends on it
 func (s *simulation) stepRoundShardTimed(r int, st *shardTopo, segs []int, ns []int64) (workers int, maxNS, meanNS int64) {
 	m := len(s.live)
 	w := s.sweepWorkers(m)

@@ -74,6 +74,8 @@ type WordIOAlgorithm interface {
 // panics outside a word-I/O run or when the algorithm declares no
 // input. The program may overwrite its own slots and use them as
 // per-run scratch; see the package contract.
+//
+//distvet:noalloc
 func (n *Node) InputWords() []int64 {
 	if n.win == nil {
 		panic(fmt.Sprintf("dist: node id=%d calls InputWords outside a word-I/O run (or the algorithm declares no input words)", n.id))
@@ -85,6 +87,8 @@ func (n *Node) InputWords() []int64 {
 // OutputWidth words (or one per visible port when the width is
 // PerPort), zeroed at the start of the run. It panics outside a
 // word-I/O run or when the algorithm declares no output.
+//
+//distvet:noalloc
 func (n *Node) OutputWords() []int64 {
 	if n.wob == nil {
 		panic(fmt.Sprintf("dist: node id=%d calls OutputWords outside a word-I/O run (or the algorithm declares no output words)", n.id))
@@ -94,6 +98,8 @@ func (n *Node) OutputWords() []int64 {
 
 // SetOutputWord sets the node's one-word output. The declared output
 // width must be exactly 1.
+//
+//distvet:noalloc
 func (n *Node) SetOutputWord(w int64) {
 	out := n.OutputWords()
 	if len(out) != 1 {
@@ -104,6 +110,8 @@ func (n *Node) SetOutputWord(w int64) {
 
 // SetOutputWords copies ws into the node's output slot; len(ws) must
 // equal the output width.
+//
+//distvet:noalloc
 func (n *Node) SetOutputWords(ws ...int64) {
 	out := n.OutputWords()
 	if len(ws) != len(out) {
@@ -194,6 +202,8 @@ func (net *Network) RunWords(algo WordIOAlgorithm, opts RunOptions) (*Result, er
 // and column lengths were validated by newSimulation, which calls this
 // from the parallel setup sweep; the slot base comes from the cached
 // topology.
+//
+//distvet:noalloc
 func wireWordIO(nd *Node, s *simulation, iw, ow int, inCol []int64, v int) {
 	deg := len(nd.ports)
 	switch iw {

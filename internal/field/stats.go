@@ -139,6 +139,7 @@ func StepCounters(step, q, d int) *EvalCounters {
 func EvalStatsSnapshot() []EvalStat {
 	evalStats.mu.Lock()
 	out := make([]EvalStat, 0, len(evalStats.counters))
+	//distvet:unordered the snapshot is sorted by (step, q, d) below; map order never reaches the caller
 	for k, c := range evalStats.counters {
 		out = append(out, EvalStat{
 			Step: k.step, Q: k.q, D: k.d,

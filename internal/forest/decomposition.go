@@ -62,6 +62,7 @@ func (forestAssign) MessageWords() int { return 1 }
 func (forestAssign) InputWidth() int  { return dist.PerPort }
 func (forestAssign) OutputWidth() int { return dist.PerPort }
 
+//distvet:noalloc
 func (forestAssign) InitWords(n *dist.Node) {
 	flags := n.InputWords()
 	out := n.OutputWords()
@@ -77,6 +78,7 @@ func (forestAssign) InitWords(n *dist.Node) {
 	n.Halt()
 }
 
+//distvet:noalloc
 func (forestAssign) StepWords(n *dist.Node, inbox dist.WordInbox) {}
 
 // Decompose computes an O(a)-forests decomposition in O(log n) time

@@ -97,10 +97,12 @@ func (hpartitionAlgo) MessageWords() int { return 1 }
 func (hpartitionAlgo) InputWidth() int  { return 0 }
 func (hpartitionAlgo) OutputWidth() int { return 1 }
 
+//distvet:noalloc
 func (hpartitionAlgo) InitWords(n *dist.Node) {
 	n.SendAllWord(1)
 }
 
+//distvet:noalloc
 func (a hpartitionAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 	activeNbrs := 0
 	for p := 0; p < inbox.Ports(); p++ {

@@ -83,6 +83,7 @@ func (orientExchange) MessageWords() int { return 2 }
 func (orientExchange) InputWidth() int  { return 2 }
 func (orientExchange) OutputWidth() int { return dist.PerPort }
 
+//distvet:noalloc
 func (orientExchange) InitWords(n *dist.Node) {
 	in := n.InputWords()
 	for p := 0; p < n.Degree(); p++ {
@@ -92,6 +93,7 @@ func (orientExchange) InitWords(n *dist.Node) {
 	}
 }
 
+//distvet:noalloc
 func (orientExchange) StepWords(n *dist.Node, inbox dist.WordInbox) {
 	in := orientInput{Level: int(n.InputWords()[0]), Key: int(n.InputWords()[1])}
 	out := n.OutputWords()

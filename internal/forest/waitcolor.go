@@ -125,6 +125,8 @@ func (WaitColorAlgo) Init(n *dist.Node) {
 }
 
 // InitWords is Init on the typed word plane.
+//
+//distvet:noalloc
 func (a WaitColorAlgo) InitWords(n *dist.Node) {
 	if a.Palette < 1 {
 		n.Failf("forest: bad wait-color palette %d", a.Palette)
@@ -182,6 +184,8 @@ func (WaitColorAlgo) Step(n *dist.Node, inbox []dist.Message) {
 // StepWords is Step on the typed word plane: announced parent colors are
 // recorded into the node's own input slots (flag 1 -> color+2), so the
 // only remaining state is the words themselves.
+//
+//distvet:noalloc
 func (a WaitColorAlgo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 	ports := n.InputWords()
 	pending := 0
@@ -222,10 +226,12 @@ func finishWaitColor(n *dist.Node, in WaitColorInput, st *waitColorState) (int, 
 
 // finishWords is finishWaitColor on the word plane: parent counts are
 // rebuilt from the recorded input words into pooled scratch.
+//
+//distvet:noalloc
 func (a WaitColorAlgo) finishWords(n *dist.Node) {
 	sc := a.pool.Get().(*countScratch)
 	if cap(sc.counts) < a.Palette {
-		sc.counts = make([]int, a.Palette)
+		sc.counts = make([]int, a.Palette) //distvet:alloc-ok one-time growth of the pooled counts buffer to the palette size
 	}
 	counts := sc.counts[:a.Palette]
 	clear(counts)

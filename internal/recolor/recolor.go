@@ -165,6 +165,8 @@ func (Algo) Init(n *dist.Node) {
 // the receiver (NewAlgo), the node's evolving color lives in its output
 // word, and the step index is the round number - so no per-node state
 // object exists at all.
+//
+//distvet:noalloc
 func (a Algo) InitWords(n *dist.Node) {
 	if a.fams == nil && a.P == (Params{}) {
 		// Zero-value Algo on the word plane mirrors the boxed defensive
@@ -314,6 +316,8 @@ type wordScratch struct {
 // Round()-1 (all nodes run the schedule in lockstep) and the current
 // color is the node's own output word, so the call touches no per-node
 // state.
+//
+//distvet:noalloc
 func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 	sc := a.pool.Get().(*wordScratch)
 	sc.grow(a.maxQ)
@@ -329,7 +333,7 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 		if flags != nil && flags[p] == 0 {
 			continue
 		}
-		conflicts = append(conflicts, int(inbox.Word(p)))
+		conflicts = append(conflicts, int(inbox.Word(p))) //distvet:alloc-ok amortized growth of the pooled scratch's conflicts buffer
 	}
 	step := n.Round() - 1
 	color := sc.recolorOnce(a.fams[step], int(n.OutputWords()[0]), conflicts, counter(a.stats, step))
@@ -365,6 +369,8 @@ func advance(n *dist.Node, st *nodeState) (int, bool) {
 // into the family's precomputed table or the scratch buffers. ec, when
 // non-nil, counts every row materialization as a table hit or Horner
 // fallback (field.SetEvalStats) - exactly one count per RowView call.
+//
+//distvet:noalloc
 func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []int, ec *field.EvalCounters) int {
 	q := fam.Q()
 	ec.Count(fam, x)

@@ -121,6 +121,8 @@ func (Algo) Init(n *dist.Node) {
 }
 
 // InitWords is Init on the typed word plane.
+//
+//distvet:noalloc
 func (a Algo) InitWords(n *dist.Node) {
 	color := n.InputWords()[0]
 	n.SetOutputWord(color)
@@ -173,6 +175,8 @@ func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 // StepWords is Step on the typed word plane: the same fold/renumber
 // schedule against the flat arena, with the (phase, fold) position
 // derived from the round number instead of per-node counters.
+//
+//distvet:noalloc
 func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 	deg := n.Degree()
 	o := int(a.off[n.Vertex()])
@@ -197,7 +201,7 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 		lo := color / (2 * t) * (2 * t)
 		sc := a.pool.Get().(*takenScratch)
 		if cap(sc.taken) < t {
-			sc.taken = make([]bool, t)
+			sc.taken = make([]bool, t) //distvet:alloc-ok one-time growth of the pooled taken buffer to the phase's target
 		}
 		taken := sc.taken[:t]
 		clear(taken)
