@@ -67,6 +67,8 @@ func run() error {
 	graphPath := flag.String("graph", "", "scale run: prebuilt graph file (DCG1 binary or text edge list)")
 	shadowN := flag.Int("scale-shadow-n", 100_000, "scale run: also cross-check batch vs boxed transports at this size (0 disables)")
 	allocBudget := flag.Float64("scale-alloc-budget", 0, "scale run: fail if the full batch run exceeds this many heap allocations per vertex (0 disables)")
+	wallBudget := flag.Float64("scale-wall-budget", 0, "scale run: fail if a full-size flat run's wall time exceeds this many seconds (0 disables; nightly derives it from the checked-in BENCH_scale.json baseline + 15%)")
+	evalGate := flag.Bool("scale-eval-gate", false, "scale run: enable the field eval counters and fail if any pipeline step reports a scalar-Eval fallback")
 	scaleProcs := flag.String("scale-procs", "", "scale run: comma-separated core counts (e.g. 1,2,4,8); one full run per count with GOMAXPROCS and the worker pool pinned, asserting identical results")
 	scaleShards := flag.String("scale-shards", "", "scale run: comma-separated shard counts (e.g. 1,2,4,8); one full run per count on the shard-structured engine, asserting identical results")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -125,7 +127,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, procs, shards, *jsonOut, *tracePath, *serveAddr != "")
+		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, *wallBudget, *evalGate, procs, shards, *jsonOut, *tracePath, *serveAddr != "")
 	}
 
 	sizes := experiments.Sizes{N: *n, Seed: *seed}
@@ -207,8 +209,16 @@ func parseCounts(s, flagName, what string) ([]int, error) {
 // gated against the core-count runs. All records go to the JSON-Lines
 // stream (or a readable text line). A nonzero allocBudget gates the
 // (flat) full runs' allocs/vertex - the CI regression check for the
-// typed word-I/O plumbing.
-func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget float64, procs, shards []int, jsonOut bool, tracePath string, serving bool) error {
+// typed word-I/O plumbing - and a nonzero wallBudget gates their wall
+// time the same way (the nightly wall-regression check). evalGate turns
+// the field eval counters on for the whole invocation and fails it if
+// any recoloring step reports a scalar-Eval fallback: the batch kernel
+// is supposed to make that count structurally zero.
+func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudget, wallBudget float64, evalGate bool, procs, shards []int, jsonOut bool, tracePath string, serving bool) error {
+	if evalGate {
+		field.SetEvalStats(true)
+		field.ResetEvalStats()
+	}
 	// The trace covers the full-size run(s) only: the shadow pair is a
 	// correctness cross-check, and giving it the probe would interleave
 	// its records with the measured run's.
@@ -372,6 +382,27 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 		if allocBudget > 0 && full.Record.AllocsPerVertex > allocBudget {
 			return fmt.Errorf("scale run %s %s (workers=%d) allocated %.2f allocs/vertex, over the %.2f budget",
 				full.Record.Workload, full.Record.Params, full.Record.Workers, full.Record.AllocsPerVertex, allocBudget)
+		}
+		if wallBudget > 0 && full.Record.WallMS > wallBudget*1000 {
+			return fmt.Errorf("scale run %s %s (workers=%d) took %.0f ms, over the %.1f s wall budget",
+				full.Record.Workload, full.Record.Params, full.Record.Workers, full.Record.WallMS, wallBudget)
+		}
+	}
+	if evalGate {
+		snap := field.EvalStatsSnapshot()
+		if len(snap) == 0 {
+			return fmt.Errorf("-scale-eval-gate: no eval counters registered (counting did not reach the pipeline)")
+		}
+		var total int64
+		for _, s := range snap {
+			if s.Fallbacks != 0 {
+				return fmt.Errorf("-scale-eval-gate: step %d (q=%d d=%d) took %d scalar-Eval fallbacks (hits=%d batched=%d)",
+					s.Step, s.Q, s.D, s.Fallbacks, s.Hits, s.Batched)
+			}
+			total += s.Total()
+		}
+		if !jsonOut {
+			fmt.Printf("eval gate ok: %d evaluations, 0 scalar-Eval fallbacks\n", total)
 		}
 	}
 	return nil

@@ -51,6 +51,37 @@ func guarded(n int) int {
 	return n * 2
 }
 
+// batchKernel mirrors the field batch-eval kernel shape: digit decode
+// and forward-difference advance into caller-owned scratch, all stack
+// state and conditional-subtract arithmetic. Everything here is legal
+// under noalloc - the case pins that the analyzer does not misread
+// branch-free index arithmetic or scratch reslicing as allocation.
+//
+//distvet:noalloc
+func batchKernel(dst, w []int64, q, d int) {
+	for j := 0; j <= d; j++ {
+		dst[j] = w[j]
+	}
+	for x := d + 1; x < len(dst); x++ {
+		for j := 0; j < d; j++ {
+			t := w[j+1] + w[j] - int64(q)
+			t += int64(q) & (t >> 63)
+			w[j+1] = t
+		}
+		dst[x] = w[d]
+	}
+}
+
+// batchKernelRowCopy is the anti-pattern the kernel replaced: a fresh
+// row allocation per candidate inside an annotated hot function.
+//
+//distvet:noalloc
+func batchKernelRowCopy(src []int64) []int64 {
+	row := make([]int64, len(src)) // want `noalloc function calls make`
+	copy(row, src)
+	return row
+}
+
 // cold is not annotated: allocation is unremarkable.
 func cold(n int) []int {
 	return make([]int, n)

@@ -384,7 +384,11 @@ type simulation struct {
 	// run (shard.go); nil on flat runs, where wwords/wsent serve.
 	shWords [2][][]int64
 	shSent  [2][][]uint8
-	clearQ  []int // nodes halted last round, flags pending a clear
+	// shIn is the per-parity sharded delivery bundle WordInbox points
+	// at (one pointer per inbox instead of three slice headers); bound
+	// alongside shWords/shSent in growShardColumns.
+	shIn   [2]shardCols
+	clearQ []int // nodes halted last round, flags pending a clear
 
 	// Word-I/O state (see wordio.go); wio is nil outside word-I/O runs.
 	wio    WordIOAlgorithm

@@ -61,6 +61,17 @@
 //     fresh allocations - but the Result.OutputWords reclamation
 //     contract (wordio.go) still requires the caller to decode a word
 //     column before STARTING the next word run on that network.
+//   - Session values. Algorithm layers pin small cross-run state on the
+//     session through Network.SessionValue, keyed by unexported types -
+//     e.g. recolor's per-(step, family) hot-row cache of resolved
+//     row-table snapshots. Ownership contract: a value lives as long as
+//     the Network, is shared by WithDelivery/WithWorkers/WithProbe
+//     views (a Sharded view starts a fresh session and therefore a
+//     fresh value store), and must be safe for concurrent use by
+//     overlapping runs. Invalidation is the owning layer's concern; the
+//     hot-row cache needs none, because its snapshots only ever advance
+//     to larger prefixes of the same monotone (append-only) tables, so
+//     a stale entry is never wrong, only smaller.
 //
 // Rounds, engine setup/collection sweeps, and the orchestrator helpers
 // (Network.PortColumn, ParallelFor) fan out over a worker pool paced by

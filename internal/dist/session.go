@@ -161,10 +161,16 @@ func (sc *session) buildFiltered(g *graph.Graph, labels []int, active []bool, wo
 // v always appears in its visible neighbors' port lists and the rank
 // lookup is a binary search in the neighbor's sorted ports. On a sharded
 // topology the recorded slot is shard-local and the boundary table
-// (shard.inShard) names the sending shard per slot.
+// (shard.inShard) names the sending shard per slot. A single-worker
+// build takes the counting sweep instead, which replaces every binary
+// search with one increment.
 func fillSlots(t *topology, workers int) {
 	n := len(t.ports)
 	st := t.shard
+	if workers <= 1 || n <= 1 {
+		fillSlotsCounting(t)
+		return
+	}
 	parfor(n, workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			ports := t.ports[v]
@@ -187,6 +193,40 @@ func fillSlots(t *topology, workers int) {
 			}
 		}
 	})
+}
+
+// fillSlotsCounting is the sequential delivery-slot fill: one ascending
+// sweep over the senders. Port lists are sorted ascending and visibility
+// is symmetric, so when vertices are visited in ascending order, v is
+// the cnt[u]-th visible neighbor u has been reached by and its rank in
+// u's sorted port list is exactly cnt[u] - every binary search of the
+// parallel fill becomes a counter increment. Identical output to the
+// parfor path (both compute sender ranks); only the work per port
+// differs.
+func fillSlotsCounting(t *topology) {
+	st := t.shard
+	cnt := make([]int32, len(t.ports))
+	for v, ports := range t.ports {
+		if len(ports) == 0 {
+			continue
+		}
+		b := t.base[v]
+		slots := t.inSlots[b:]
+		if st == nil {
+			for p, u := range ports {
+				slots[p] = int32(t.base[u]) + cnt[u]
+				cnt[u]++
+			}
+			continue
+		}
+		inShard := st.inShard[b:]
+		for p, u := range ports {
+			k := st.vshard[u]
+			slots[p] = int32(t.base[u]-st.slotCuts[k]) + cnt[u]
+			cnt[u]++
+			inShard[p] = k
+		}
+	}
 }
 
 // uniformInts reports whether all values are equal (a uniform label
@@ -262,6 +302,12 @@ type session struct {
 	// built); out is the pooled word-I/O output column of wordio.go.
 	run *runScratch
 	out []int64
+	// values is the keyed session-scratch store of SessionValue: hot
+	// state orchestrators keep resident across the runs of one network
+	// (e.g. the recoloring hot-row cache). Entries live for the
+	// session's lifetime; the stored values themselves must be safe for
+	// concurrent use by overlapping runs.
+	values map[any]any
 	// sh/vshard describe the vertex sharding of this session's network
 	// view (zero/nil = flat engine). They are set once when the sharded
 	// view is created (Network.Sharded gives the view a FRESH session, so
@@ -506,6 +552,35 @@ func ParallelFor(n, workers int, fn func(lo, hi int)) {
 		}
 	}
 	parfor(n, workers, fn)
+}
+
+// SessionValue returns the session-scoped singleton for key, building
+// it with build on first use. The value lives for the lifetime of the
+// network's session and is shared by every WithDelivery / WithWorkers /
+// WithProbe view (a Sharded view has a session - and hence a store - of
+// its own), so orchestrators use it to keep hot state resident across
+// the dozens of phase runs of one pipeline: the recoloring hot-row
+// cache keys per-(step, family) row-table snapshots here, turning the
+// per-candidate atomic table load into a per-run slice resolve.
+//
+// Keys follow the comparable-key conventions of context values: use an
+// unexported struct type so independent packages cannot collide. build
+// runs at most once per key under the session lock - it must not call
+// back into the network - and the stored value must itself be safe for
+// concurrent use, since overlapping runs share it.
+func (net *Network) SessionValue(key any, build func() any) any {
+	sc := net.sess
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if v, ok := sc.values[key]; ok {
+		return v
+	}
+	if sc.values == nil {
+		sc.values = make(map[any]any)
+	}
+	v := build()
+	sc.values[key] = v
+	return v
 }
 
 // Workers returns the worker count this network's runs resolve

@@ -3,6 +3,7 @@ package dist
 import (
 	"math/rand"
 	"reflect"
+	"slices"
 	"sync"
 	"testing"
 
@@ -363,6 +364,114 @@ func TestConcurrentRunsOneNetwork(t *testing.T) {
 		}
 		if diverged[i] {
 			t.Fatalf("goroutine %d: concurrent run diverged from the reference", i)
+		}
+	}
+}
+
+// TestSessionValueOwnership pins the session value store's contract:
+// one build per key per session, the same value returned to every
+// WithDelivery/WithWorkers/WithProbe view, a fresh store on a Sharded
+// view (fresh session), and safe concurrent access.
+func TestSessionValueOwnership(t *testing.T) {
+	type keyA struct{}
+	type keyB struct{}
+	g, _ := sessionGraph(t, 64)
+	net := NewNetwork(g)
+
+	builds := 0
+	build := func() any { builds++; return &builds }
+	v1 := net.SessionValue(keyA{}, build)
+	v2 := net.SessionValue(keyA{}, build)
+	if v1 != v2 || builds != 1 {
+		t.Fatalf("second lookup rebuilt: %d builds, %p vs %p", builds, v1, v2)
+	}
+	if v := net.WithWorkers(2).SessionValue(keyA{}, build); v != v1 {
+		t.Fatal("WithWorkers view does not share the session value")
+	}
+	if v := net.WithDelivery(DeliveryBoxed).SessionValue(keyA{}, build); v != v1 {
+		t.Fatal("WithDelivery view does not share the session value")
+	}
+	if net.SessionValue(keyB{}, func() any { return "b" }) == v1 {
+		t.Fatal("distinct keys collide")
+	}
+
+	sh, err := graph.NewSharding(g.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := net.Sharded(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sharded.SessionValue(keyA{}, func() any { return "fresh" }); v != "fresh" {
+		t.Fatalf("Sharded view inherited the parent session value %v", v)
+	}
+
+	type keyC struct{}
+	var wg sync.WaitGroup
+	got := make([]any, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = net.SessionValue(keyC{}, func() any { return new(int) })
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent lookups returned distinct values")
+		}
+	}
+}
+
+// TestFillSlotsCountingMatchesParallel pins the two delivery-slot fill
+// strategies against each other: the single-worker counting sweep and
+// the parallel binary-search fill must produce identical slot tables
+// (and boundary tables on sharded topologies) on flat, filtered and
+// sharded builds.
+func TestFillSlotsCountingMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := graph.Gnp(300, 0.03, rng)
+	labels := make([]int, g.N())
+	active := make([]bool, g.N())
+	for v := range labels {
+		labels[v] = v % 3
+		active[v] = v%5 != 0
+	}
+	sh, err := graph.NewSharding(g.N(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := []struct {
+		name string
+		make func(workers int) *topology
+	}{
+		{"flat", func(w int) *topology {
+			return (&session{}).buildUnfiltered(g, w)
+		}},
+		{"filtered", func(w int) *topology {
+			return (&session{}).buildFiltered(g, labels, active, w)
+		}},
+		{"sharded", func(w int) *topology {
+			net, err := NewNetwork(g).Sharded(sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return net.sess.buildUnfiltered(g, w)
+		}},
+	}
+	for _, b := range builds {
+		seq := b.make(1)
+		par := b.make(4)
+		if !slices.Equal(seq.inSlots, par.inSlots) {
+			t.Errorf("%s: counting fill and parallel fill disagree on inSlots", b.name)
+		}
+		if (seq.shard == nil) != (par.shard == nil) {
+			t.Fatalf("%s: shard structure diverges", b.name)
+		}
+		if seq.shard != nil && !slices.Equal(seq.shard.inShard, par.shard.inShard) {
+			t.Errorf("%s: counting fill and parallel fill disagree on inShard", b.name)
 		}
 	}
 }

@@ -143,6 +143,7 @@ func (s *simulation) growShardColumns(rs *runScratch, st *shardTopo, width int) 
 			rs.wshardSent[i][j] = grown(rs.wshardSent[i][j], seg)
 		}
 		s.shWords[i], s.shSent[i] = rs.wshardWords[i], rs.wshardSent[i]
+		s.shIn[i] = shardCols{inShard: st.inShard, wordsBy: s.shWords[i], sentBy: s.shSent[i]}
 	}
 }
 
@@ -173,7 +174,7 @@ func (s *simulation) stepSliceBatchSharded(r, lo, hi int) {
 	cuts := st.slotCuts
 	words := s.shWords[cur]
 	sent := s.shSent[cur]
-	in := WordInbox{width: w, wordsBy: s.shWords[1-cur], sentBy: s.shSent[1-cur]}
+	in := WordInbox{width: w, shard: &s.shIn[1-cur]}
 	for i := lo; i < hi; i++ {
 		v := s.live[i]
 		nd := s.nodes[v]
@@ -191,7 +192,7 @@ func (s *simulation) stepSliceBatchSharded(r, lo, hi int) {
 			continue
 		}
 		in.slots = s.topo.slots(v)
-		in.inShard = st.inShard[gb : gb+deg : gb+deg]
+		in.inBase = int32(gb)
 		s.fw.StepWords(nd, in)
 	}
 }

@@ -100,15 +100,16 @@ func NewFamilySized(q, d, m int) (*Family, error) {
 }
 
 // extendRows builds a new snapshot covering rowsFor indices, copying the
-// already computed prefix of t and evaluating the remainder.
+// already computed prefix of t and batch-evaluating the remainder: the
+// appended rows are one contiguous run of function indices, which is
+// exactly FillRows' shape, so table growth pays the division-free
+// kernel rate instead of one scalar Eval per entry.
 func (f *Family) extendRows(t *rowTable, rowsFor int) *rowTable {
 	q := f.fp.Q()
 	rows := make([]int, rowsFor*q)
 	copy(rows, t.rows)
-	for x := t.rowsFor; x < rowsFor; x++ {
-		for alpha := 0; alpha < q; alpha++ {
-			rows[x*q+alpha] = f.Eval(x, alpha)
-		}
+	if rowsFor > t.rowsFor {
+		FillRows(q, f.degree, t.rowsFor, rows[t.rowsFor*q:])
 	}
 	return &rowTable{rows: rows, rowsFor: rowsFor}
 }

@@ -15,17 +15,24 @@ import (
 // key and incremented atomically, so they are exact under any worker
 // count (including -race runs).
 
-// EvalCounters tallies row evaluations at one call site family: hits are
-// evaluations answered by the precomputed row table, fallbacks recompute
-// the row with Horner's rule. All methods are safe for concurrent use
-// and no-ops on a nil receiver.
+// EvalCounters tallies row evaluations at one call site family: hits
+// are evaluations answered by the precomputed row table, batched are
+// rows materialized by the division-free batch kernel (batch.go), and
+// fallbacks recompute the row with the scalar Horner loop of
+// Family.Eval. The recoloring pipeline's kernel path only ever counts
+// hits and batched evaluations - a nonzero fallback count means some
+// caller still drops to the scalar walk, which the CI eval gate treats
+// as a regression. All methods are safe for concurrent use and no-ops
+// on a nil receiver.
 type EvalCounters struct {
 	hits      atomic.Int64
+	batched   atomic.Int64
 	fallbacks atomic.Int64
 }
 
 // Count records one row evaluation of family f at function index x,
-// classifying it exactly as RowView does (table hit iff x < RowsCached).
+// classifying it exactly as RowView does (table hit iff x < RowsCached,
+// scalar fallback otherwise).
 func (c *EvalCounters) Count(f *Family, x int) {
 	if c == nil {
 		return
@@ -37,12 +44,37 @@ func (c *EvalCounters) Count(f *Family, x int) {
 	}
 }
 
+// CountRow records one row evaluation through a RowBlock whose snapshot
+// covers cached rows, classifying it exactly as RowBlock.Row does:
+// table hit iff x < cached, batched kernel evaluation otherwise. The
+// kernel path never produces a scalar fallback.
+//
+//distvet:noalloc
+func (c *EvalCounters) CountRow(cached, x int) {
+	if c == nil {
+		return
+	}
+	if x < cached {
+		c.hits.Add(1)
+	} else {
+		c.batched.Add(1)
+	}
+}
+
 // Hits returns the row-table hit count.
 func (c *EvalCounters) Hits() int64 {
 	if c == nil {
 		return 0
 	}
 	return c.hits.Load()
+}
+
+// Batched returns the batch-kernel evaluation count.
+func (c *EvalCounters) Batched() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.batched.Load()
 }
 
 // Fallbacks returns the Horner-fallback count.
@@ -61,14 +93,17 @@ type EvalStat struct {
 	Q         int   `json:"q"`
 	D         int   `json:"d"`
 	Hits      int64 `json:"hits"`
+	Batched   int64 `json:"batched,omitempty"`
 	Fallbacks int64 `json:"fallbacks"`
 }
 
-// Total returns hits + fallbacks.
-func (s EvalStat) Total() int64 { return s.Hits + s.Fallbacks }
+// Total returns hits + batched + fallbacks.
+func (s EvalStat) Total() int64 { return s.Hits + s.Batched + s.Fallbacks }
 
-// HitRate returns hits / (hits + fallbacks), or 1 when nothing was
-// counted (an untouched family has no fallbacks to report).
+// HitRate returns hits / Total(), or 1 when nothing was counted (an
+// untouched family has no fallbacks to report). Batched kernel
+// evaluations count against the rate - they are cheaper than scalar
+// fallbacks but still cost arithmetic the table answers for free.
 func (s EvalStat) HitRate() float64 {
 	t := s.Total()
 	if t == 0 {
@@ -143,7 +178,7 @@ func EvalStatsSnapshot() []EvalStat {
 	for k, c := range evalStats.counters {
 		out = append(out, EvalStat{
 			Step: k.step, Q: k.q, D: k.d,
-			Hits: c.hits.Load(), Fallbacks: c.fallbacks.Load(),
+			Hits: c.hits.Load(), Batched: c.batched.Load(), Fallbacks: c.fallbacks.Load(),
 		})
 	}
 	evalStats.mu.Unlock()

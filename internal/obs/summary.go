@@ -246,10 +246,10 @@ func EvalTable(w io.Writer, stats []field.EvalStat) error {
 	sorted := append([]field.EvalStat(nil), stats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total() > sorted[j].Total() })
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "STEP\tQ\tD\tEVALS\tROW-HITS\tFALLBACKS\tHIT-RATE")
+	fmt.Fprintln(tw, "STEP\tQ\tD\tEVALS\tROW-HITS\tBATCHED\tFALLBACKS\tHIT-RATE")
 	for _, s := range sorted {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
-			s.Step, s.Q, s.D, s.Total(), s.Hits, s.Fallbacks, s.HitRate())
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
+			s.Step, s.Q, s.D, s.Total(), s.Hits, s.Batched, s.Fallbacks, s.HitRate())
 	}
 	return tw.Flush()
 }

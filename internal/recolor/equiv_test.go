@@ -46,6 +46,11 @@ func TestRecolorOnceMatchesReference(t *testing.T) {
 			if got != want {
 				t.Fatalf("step %+v x=%d conflicts=%v: got %d, ref %d", step, x, conflicts, got, want)
 			}
+			var sc stepScratch
+			sc.grow(step.Q)
+			if old := sc.recolorOncePerCandidate(fam, x, append([]int(nil), conflicts...)); old != want {
+				t.Fatalf("step %+v x=%d conflicts=%v: per-candidate comparator %d, ref %d", step, x, conflicts, old, want)
+			}
 		}
 	}
 }
@@ -59,13 +64,14 @@ func TestRecolorOnceZeroAllocs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		b := fam.Block(-1)
 		var sc stepScratch
 		sc.grow(step.Q)
 		conflicts := []int{3, 88, 121, 40, 501 % fam.Size(), 3, 77, 250, 311, 40}
 		x := 333 % fam.Size()
-		sc.recolorOnce(fam, x, conflicts, nil) // warm up
+		sc.recolorOnce(&b, x, conflicts, nil) // warm up
 		allocs := testing.AllocsPerRun(100, func() {
-			sc.recolorOnce(fam, x, conflicts, nil)
+			sc.recolorOnce(&b, x, conflicts, nil)
 		})
 		if allocs != 0 {
 			t.Errorf("step %+v: %v allocs/op in steady state, want 0", step, allocs)
@@ -73,9 +79,9 @@ func TestRecolorOnceZeroAllocs(t *testing.T) {
 	}
 }
 
-// TestRecolorOnceZeroAllocsBeyondRowTable covers the fallback path: a
-// first-step family too large for a full row table must still run the
-// step without allocating (rows land in scratch).
+// TestRecolorOnceZeroAllocsBeyondRowTable covers the beyond-table path:
+// a first-step family too large for a full row table must still run the
+// step without allocating (rows are batch-evaluated into scratch).
 func TestRecolorOnceZeroAllocsBeyondRowTable(t *testing.T) {
 	plan := Plan(100000, 16, 0)
 	step := plan.Steps[0]
@@ -84,18 +90,19 @@ func TestRecolorOnceZeroAllocsBeyondRowTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	if fam.RowsCached() >= fam.Size() {
-		t.Skipf("step %+v fully cached; fallback not exercised", step)
+		t.Skipf("step %+v fully cached; beyond-table path not exercised", step)
 	}
+	b := fam.Block(-1)
 	var sc stepScratch
 	sc.grow(step.Q)
 	x := fam.RowsCached() + 41
 	conflicts := []int{fam.RowsCached() + 7, 12, fam.Size() - 1, fam.RowsCached() + 7}
-	sc.recolorOnce(fam, x, conflicts, nil)
+	sc.recolorOnce(&b, x, conflicts, nil)
 	allocs := testing.AllocsPerRun(100, func() {
-		sc.recolorOnce(fam, x, conflicts, nil)
+		sc.recolorOnce(&b, x, conflicts, nil)
 	})
 	if allocs != 0 {
-		t.Errorf("fallback path: %v allocs/op, want 0", allocs)
+		t.Errorf("beyond-table path: %v allocs/op, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,121 @@
+package recolor
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// TestHotRowCacheConcurrentRuns hammers the session hot-row cache from
+// many goroutines on one network (run under -race): concurrent
+// bindSession calls racing on the session value store, all consumers
+// recoloring through the shared RowBlock snapshots they adopt, and
+// worker-pool runs on the warm cache. Nothing may race and every color
+// must match the cold sequential run. (Whole word-I/O runs are not
+// overlapped here: Result.OutputWords is engine-owned and reclaimed by
+// the next run, a documented transport caveat unrelated to the cache.)
+func TestHotRowCacheConcurrentRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := graph.RandomRegularish(600, 4, rng)
+	n := g.N()
+	p := Params{Color: -1, M0: n, DegBound: g.MaxDegree(), TargetDefect: 0}
+	net := dist.NewNetworkPermuted(g, rand.New(rand.NewSource(5)))
+
+	want := make([]int, n)
+	if _, err := RunUniform(net, p, nil, nil, nil, want); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			algo, err := NewAlgo(p, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			algo.bindSession(net)
+			rng := rand.New(rand.NewSource(seed))
+			var sc stepScratch
+			sc.grow(algo.rt.maxQ)
+			conflicts := make([]int, 8)
+			for iter := 0; iter < 50; iter++ {
+				step := rng.Intn(len(algo.rt.blocks))
+				b := &algo.rt.blocks[step]
+				m := min(b.Family().Size(), 1<<20)
+				x := rng.Intn(m)
+				for i := range conflicts {
+					conflicts[i] = rng.Intn(m)
+				}
+				want := recolorOnceRef(Plan(p.M0, p.DegBound, p.TargetDefect).Steps[step], x, conflicts)
+				if got := sc.recolorOnce(b, x, append([]int(nil), conflicts...), nil); got != want {
+					t.Errorf("step %d x=%d: cached-block recolor %d, ref %d", step, x, got, want)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	// Worker-pool runs on the warm cache: same colors as the cold run.
+	for _, workers := range []int{2, 4} {
+		dst := make([]int, n)
+		if _, err := RunUniform(net.WithWorkers(workers), p, nil, nil, nil, dst); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !slices.Equal(dst, want) {
+			t.Fatalf("workers=%d: colors diverge from sequential run", workers)
+		}
+	}
+}
+
+// TestHotRowCacheReusesSnapshots pins the cache's contract: a second run
+// with the same parameters on the same network adopts the session's
+// resolved snapshots (same underlying rows array), and the adopted
+// blocks always cover at least as many rows as a fresh resolve
+// (monotone growth), so classification and colors cannot change.
+func TestHotRowCacheReusesSnapshots(t *testing.T) {
+	p := Params{Color: -1, M0: 500, DegBound: 8, TargetDefect: 0}
+	g := graph.Grid(10, 10)
+	net := dist.NewNetwork(g)
+
+	first, err := NewAlgo(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.bindSession(net)
+	second, err := NewAlgo(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.bindSession(net)
+	if len(first.rt.blocks) == 0 || len(first.rt.blocks) != len(second.rt.blocks) {
+		t.Fatalf("block counts diverge: %d vs %d", len(first.rt.blocks), len(second.rt.blocks))
+	}
+	for i := range first.rt.blocks {
+		a, b := &first.rt.blocks[i], &second.rt.blocks[i]
+		if a.Cached() != b.Cached() || a.Q() != b.Q() || a.Degree() != b.Degree() {
+			t.Fatalf("step %d: adopted block (q=%d d=%d cached=%d) differs from first resolve (q=%d d=%d cached=%d)",
+				i, b.Q(), b.Degree(), b.Cached(), a.Q(), a.Degree(), a.Cached())
+		}
+	}
+
+	// A fresh network has its own session: binding there must not
+	// observe this session's entries, only rebuild equivalent ones.
+	other, err := NewAlgo(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.bindSession(dist.NewNetwork(g))
+	for i := range first.rt.blocks {
+		if other.rt.blocks[i].Cached() < first.rt.blocks[i].Cached() {
+			t.Fatalf("step %d: fresh-session block covers fewer rows than cached one", i)
+		}
+	}
+}

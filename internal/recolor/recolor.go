@@ -48,12 +48,14 @@ type Params struct {
 // On the boxed []any plane the zero value is ready to use and reads a
 // per-vertex Input struct (the reference fallback). On the typed
 // word-I/O plane (dist.WordIOAlgorithm), construct it with NewAlgo: the
-// schedule, field families and step scratch are resolved once per run
-// and shared by all nodes, so the word path performs no per-vertex
-// allocation at all. Word layout: the input column is one parent-flag
-// word per visible port (present only for the arbdefective variant);
-// the output column is one word per vertex holding the node's current -
-// and finally legal/defective - color.
+// schedule, per-step row-table snapshots and step scratch are resolved
+// once per run and shared by all nodes, so the word path performs no
+// per-vertex allocation at all. The shared state hangs off one pointer
+// (rt), keeping the Algo value the engine copies per node call small.
+// Word layout: the input column is one parent-flag word per visible
+// port (present only for the arbdefective variant); the output column
+// is one word per vertex holding the node's current - and finally
+// legal/defective - color.
 type Algo struct {
 	// P holds the uniform parameters of the word-I/O plane; the boxed
 	// fallback ignores it and reads per-vertex Input structs instead.
@@ -62,9 +64,21 @@ type Algo struct {
 	// arb flags the arbdefective variant: conflict neighbors are the
 	// ports flagged nonzero in the per-port input column.
 	arb bool
-	// fams is the memoized family of every schedule step, resolved once
-	// by NewAlgo and shared read-only by all nodes.
-	fams []*field.Family
+	// rt is the shared read-only runtime of the word plane, resolved
+	// once by NewAlgo; nil on the zero-value boxed fallback.
+	rt *algoRT
+}
+
+// algoRT is the run-shared runtime state of the word plane: everything
+// every node of the run reads but never writes. One pointer per Algo
+// copy keeps the per-node interface-call receiver at three words of
+// parameters plus this pointer.
+type algoRT struct {
+	// blocks is the per-step row-table snapshot (palette-sized via the
+	// kernel resolve in stepBlocks, or the session hot-row cache when
+	// the run came through RunUniform); the step loop never touches the
+	// family's atomic table pointer.
+	blocks []field.RowBlock
 	// stats holds the shared per-step eval counters when process-wide
 	// stats are on (field.SetEvalStats); nil otherwise, so the hot path
 	// pays only a nil check.
@@ -73,7 +87,7 @@ type Algo struct {
 	maxQ int
 	// pool recycles step scratch across Step calls; sync.Pool keeps the
 	// steady state allocation-free without per-node buffers.
-	pool *sync.Pool
+	pool sync.Pool
 }
 
 // NewAlgo prepares the word-I/O form of the recoloring program for the
@@ -90,14 +104,13 @@ func NewAlgo(p Params, arb bool) (Algo, error) {
 			maxQ = step.Q
 		}
 	}
-	return Algo{
-		P:     p,
-		arb:   arb,
-		fams:  stepFamilies(plan),
-		stats: stepEvalCounters(plan),
-		maxQ:  maxQ,
-		pool:  &sync.Pool{New: func() any { return new(wordScratch) }},
-	}, nil
+	rt := &algoRT{
+		blocks: stepBlocks(plan),
+		stats:  stepEvalCounters(plan),
+		maxQ:   maxQ,
+	}
+	rt.pool.New = func() any { return new(wordScratch) }
+	return Algo{P: p, arb: arb, rt: rt}, nil
 }
 
 // MessageWords implements dist.FixedWidthAlgorithm: every message is one
@@ -119,7 +132,7 @@ func (Algo) OutputWidth() int { return 1 }
 
 type nodeState struct {
 	plan      Schedule
-	fams      []*field.Family       // memoized family per step, shared process-wide
+	blocks    []field.RowBlock      // per-step row-table snapshot, shared tables
 	stats     []*field.EvalCounters // shared per-step eval counters; nil when off
 	color     int
 	step      int
@@ -168,7 +181,7 @@ func (Algo) Init(n *dist.Node) {
 //
 //distvet:noalloc
 func (a Algo) InitWords(n *dist.Node) {
-	if a.fams == nil && a.P == (Params{}) {
+	if a.rt == nil && a.P == (Params{}) {
 		// Zero-value Algo on the word plane mirrors the boxed defensive
 		// default: the trivial legal n-coloring from identifiers.
 		n.SetOutputWord(int64(n.ID() - 1))
@@ -186,7 +199,7 @@ func (a Algo) InitWords(n *dist.Node) {
 		color = n.ID() - 1
 	}
 	n.SetOutputWord(int64(color))
-	if len(a.fams) == 0 {
+	if a.rt == nil || len(a.rt.blocks) == 0 {
 		n.Halt()
 		return
 	}
@@ -214,10 +227,10 @@ func initNode(n *dist.Node) (int, bool) {
 			in.M0, in.DegBound, in.TargetDefect, maxScheduleSteps))
 	}
 	st := &nodeState{
-		plan:  plan,
-		fams:  stepFamilies(plan),
-		stats: stepEvalCounters(plan),
-		color: color,
+		plan:   plan,
+		blocks: stepBlocks(plan),
+		stats:  stepEvalCounters(plan),
+		color:  color,
 	}
 	if in.TargetDefect >= in.DegBound {
 		// A single color class already satisfies the defect bound.
@@ -239,6 +252,26 @@ func initNode(n *dist.Node) (int, bool) {
 		return 0, false
 	}
 	return color, true
+}
+
+// stepBlocks resolves one row-table snapshot per schedule step: the
+// memoized family (stepFamilies), grown to the step's palette bound and
+// snapshotted once, so the step loop indexes a slice and never touches
+// the family's atomic table pointer. Both the boxed and the word plane
+// resolve their blocks through here, so their eval-counter
+// classifications match exactly.
+func stepBlocks(plan Schedule) []field.RowBlock {
+	fams := stepFamilies(plan)
+	if fams == nil {
+		return nil
+	}
+	blocks := make([]field.RowBlock, len(fams))
+	palette := plan.M0
+	for i, step := range plan.Steps {
+		blocks[i] = fams[i].Block(palette)
+		palette = step.Q * step.Q
+	}
+	return blocks
 }
 
 // stepFamilies resolves the memoized family of every step once, at Init,
@@ -282,6 +315,57 @@ func stepEvalCounters(plan Schedule) []*field.EvalCounters {
 	return cs
 }
 
+// hotRowsKey keys the per-session hot-row cache in the network's
+// session value store (dist.Network.SessionValue).
+type hotRowsKey struct{}
+
+// hotKey identifies one schedule step's resolved row surface: the step
+// index plus the family parameters and palette bound that sized its
+// table.
+type hotKey struct{ step, q, d, palette int }
+
+// hotRows is the session-scratch hot-row cache: per (step, family) the
+// row-table snapshot the session's runs share. Families and their
+// tables are process-wide already; what the cache pins is the resolved
+// RowBlock value itself, so repeated runs over the same network reuse
+// one snapshot (one rows slice) instead of re-touching the family's
+// atomic table pointer per run. Entries only ever advance to snapshots
+// covering at least as many rows (EnsureRows growth is monotone), so a
+// cached block is always interchangeable with a fresh resolve.
+type hotRows struct {
+	mu     sync.Mutex
+	blocks map[hotKey]field.RowBlock
+}
+
+// bindSession swaps the algorithm's per-step snapshots against the
+// network session's hot-row cache: a cached snapshot covering as many
+// rows as the fresh resolve replaces it (slice reuse across runs);
+// otherwise the fresh, larger snapshot becomes the cached one. The
+// exchange never changes any evaluated value - blocks of the same
+// (q, d) family view the same monotone table - so colors and counter
+// classifications are identical with or without the cache.
+func (a Algo) bindSession(net *dist.Network) {
+	if a.rt == nil || len(a.rt.blocks) == 0 {
+		return
+	}
+	hot := net.SessionValue(hotRowsKey{}, func() any {
+		return &hotRows{blocks: make(map[hotKey]field.RowBlock)}
+	}).(*hotRows)
+	hot.mu.Lock()
+	defer hot.mu.Unlock()
+	palette := a.P.M0
+	for i := range a.rt.blocks {
+		b := &a.rt.blocks[i]
+		k := hotKey{step: i, q: b.Q(), d: b.Degree(), palette: palette}
+		if cached, ok := hot.blocks[k]; ok && cached.Cached() >= b.Cached() {
+			*b = cached
+		} else {
+			hot.blocks[k] = *b
+		}
+		palette = k.q * k.q
+	}
+}
+
 // Step executes one recoloring round.
 func (Algo) Step(n *dist.Node, inbox []dist.Message) {
 	st := n.State.(*nodeState)
@@ -319,8 +403,9 @@ type wordScratch struct {
 //
 //distvet:noalloc
 func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
-	sc := a.pool.Get().(*wordScratch)
-	sc.grow(a.maxQ)
+	rt := a.rt
+	sc := rt.pool.Get().(*wordScratch)
+	sc.grow(rt.maxQ)
 	conflicts := sc.conflicts[:0]
 	var flags []int64
 	if a.arb {
@@ -336,11 +421,11 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 		conflicts = append(conflicts, int(inbox.Word(p))) //distvet:alloc-ok amortized growth of the pooled scratch's conflicts buffer
 	}
 	step := n.Round() - 1
-	color := sc.recolorOnce(a.fams[step], int(n.OutputWords()[0]), conflicts, counter(a.stats, step))
+	color := sc.recolorOnce(&rt.blocks[step], int(n.OutputWords()[0]), conflicts, counter(rt.stats, step))
 	sc.conflicts = conflicts
-	a.pool.Put(sc)
+	rt.pool.Put(sc)
 	n.SetOutputWord(int64(color))
-	if step+1 < len(a.fams) {
+	if step+1 < len(rt.blocks) {
 		n.SendAllWord(int64(color))
 		return
 	}
@@ -351,7 +436,7 @@ func (a Algo) StepWords(n *dist.Node, inbox dist.WordInbox) {
 // either finishes the node (announce=false) or returns the new color the
 // caller must broadcast.
 func advance(n *dist.Node, st *nodeState) (int, bool) {
-	st.color = st.scratch.recolorOnce(st.fams[st.step], st.color, st.conflicts, counter(st.stats, st.step))
+	st.color = st.scratch.recolorOnce(&st.blocks[st.step], st.color, st.conflicts, counter(st.stats, st.step))
 	st.step++
 	if st.step < len(st.plan.Steps) {
 		return st.color, true
@@ -363,40 +448,25 @@ func advance(n *dist.Node, st *nodeState) (int, bool) {
 
 // recolorOnce applies one Step: pick alpha minimizing agreements with
 // differently-colored conflict neighbors and return alpha*q + phi_x(alpha).
-// It sorts conflictColors in place to weight each distinct color by its
-// multiplicity (agreement counts are per neighbor) while materializing
-// every row at most once, and performs no allocations: rows are views
-// into the family's precomputed table or the scratch buffers. ec, when
-// non-nil, counts every row materialization as a table hit or Horner
-// fallback (field.SetEvalStats) - exactly one count per RowView call.
+// It sorts conflictColors in place into one contiguous run and hands the
+// run to the batch kernel (field.RowBlock.AgreeRun): each distinct color
+// is weighted by its multiplicity (agreement counts are per neighbor)
+// and its row materialized at most once - a view into the block's table
+// snapshot, or the division-free finite-difference kernel into scratch.
+// No allocations, no atomic table loads, and no scalar Eval fallbacks on
+// any input. ec, when non-nil, classifies every row materialization as
+// a table hit or a batched kernel evaluation - exactly one count per
+// distinct row.
 //
 //distvet:noalloc
-func (sc *stepScratch) recolorOnce(fam *field.Family, x int, conflictColors []int, ec *field.EvalCounters) int {
-	q := fam.Q()
-	ec.Count(fam, x)
-	myRow := fam.RowView(x, sc.myRow)
+func (sc *stepScratch) recolorOnce(b *field.RowBlock, x int, conflictColors []int, ec *field.EvalCounters) int {
+	q := b.Q()
+	ec.CountRow(b.Cached(), x)
+	myRow := b.Row(x, sc.myRow)
 	agrees := sc.agrees[:q]
 	clear(agrees)
 	slices.Sort(conflictColors)
-	for i := 0; i < len(conflictColors); {
-		y := conflictColors[i]
-		j := i + 1
-		for j < len(conflictColors) && conflictColors[j] == y {
-			j++
-		}
-		mult := j - i
-		i = j
-		if y == x {
-			continue // same-colored neighbors carry over (Appendix B)
-		}
-		ec.Count(fam, y)
-		row := fam.RowView(y, sc.nbrRow)
-		for alpha := 0; alpha < q; alpha++ {
-			if row[alpha] == myRow[alpha] {
-				agrees[alpha] += mult
-			}
-		}
-	}
+	b.AgreeRun(agrees, myRow, conflictColors, x, sc.nbrRow, ec)
 	bestAlpha := 0
 	for alpha := 1; alpha < q; alpha++ {
 		if agrees[alpha] < agrees[bestAlpha] {
@@ -414,10 +484,11 @@ func recolorOnce(step Step, x int, conflictColors []int) int {
 	if err != nil {
 		panic(fmt.Sprintf("recolor: invalid step %+v: %v", step, err))
 	}
+	b := fam.Block(-1)
 	var sc stepScratch
 	sc.grow(step.Q)
 	conflicts := append([]int(nil), conflictColors...)
-	return sc.recolorOnce(fam, x, conflicts, nil)
+	return sc.recolorOnce(&b, x, conflicts, nil)
 }
 
 // Result reports a whole-graph recoloring run.
@@ -452,6 +523,7 @@ func RunUniform(net *dist.Network, p Params, parentPorts [][]bool, labels []int,
 	if err != nil {
 		return dist.RunStats{}, err
 	}
+	algo.bindSession(net)
 	if net.WordIO(algo) {
 		var inWords []int64
 		if parentPorts != nil {

@@ -20,25 +20,27 @@ func TestRecolorOnceCountsExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	b := fam.Block(-1)
 	var sc stepScratch
 	sc.grow(step.Q)
 	x := 333
 	conflicts := []int{3, 88, x, 40, x, 77}
 	var c field.EvalCounters
-	sc.recolorOnce(fam, x, conflicts, &c)
+	sc.recolorOnce(&b, x, conflicts, &c)
 	want := int64(1 + 4) // own row + the 4 conflicts differing from x
-	if got := c.Hits() + c.Fallbacks(); got != want {
+	if got := c.Hits() + c.Batched(); got != want {
 		t.Fatalf("counted %d evaluations, want %d", got, want)
 	}
-	if c.Fallbacks() != 0 {
-		t.Fatalf("%d fallbacks on a fully cached family", c.Fallbacks())
+	if c.Fallbacks() != 0 || c.Batched() != 0 {
+		t.Fatalf("batched=%d fallbacks=%d on a fully cached family, want 0/0", c.Batched(), c.Fallbacks())
 	}
 }
 
-// TestRecolorOnceCountsFallbacks forces the Horner path: function
-// indices at or past the cached row table must land in the fallback
-// bucket, classified exactly as RowView classifies them.
-func TestRecolorOnceCountsFallbacks(t *testing.T) {
+// TestRecolorOnceCountsBatched forces the beyond-table path: function
+// indices at or past the cached row table must land in the batched
+// bucket - the kernel materializes them division-free - and the scalar
+// fallback bucket must stay empty on every input.
+func TestRecolorOnceCountsBatched(t *testing.T) {
 	plan := Plan(100000, 16, 0)
 	step := plan.Steps[0]
 	fam, err := field.Families(step.Q, step.D)
@@ -46,16 +48,20 @@ func TestRecolorOnceCountsFallbacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	if fam.RowsCached() >= fam.Size() {
-		t.Skipf("step %+v fully cached; fallback not exercised", step)
+		t.Skipf("step %+v fully cached; beyond-table path not exercised", step)
 	}
+	b := fam.Block(-1)
 	var sc stepScratch
 	sc.grow(step.Q)
-	x := fam.RowsCached() + 41 // own row: fallback
-	conflicts := []int{12, fam.RowsCached() + 7, fam.Size() - 1}
+	x := b.Cached() + 41 // own row: beyond the table, batch-evaluated
+	conflicts := []int{12, b.Cached() + 7, fam.Size() - 1}
 	var c field.EvalCounters
-	sc.recolorOnce(fam, x, conflicts, &c)
-	if c.Hits() != 1 || c.Fallbacks() != 3 {
-		t.Fatalf("hits=%d fallbacks=%d, want 1/3", c.Hits(), c.Fallbacks())
+	sc.recolorOnce(&b, x, conflicts, &c)
+	if c.Hits() != 1 || c.Batched() != 3 {
+		t.Fatalf("hits=%d batched=%d, want 1/3", c.Hits(), c.Batched())
+	}
+	if c.Fallbacks() != 0 {
+		t.Fatalf("%d scalar fallbacks; the kernel path must never take one", c.Fallbacks())
 	}
 }
 
