@@ -69,6 +69,7 @@ func run() error {
 	allocBudget := flag.Float64("scale-alloc-budget", 0, "scale run: fail if the full batch run exceeds this many heap allocations per vertex (0 disables)")
 	wallBudget := flag.Float64("scale-wall-budget", 0, "scale run: fail if a full-size flat run's wall time exceeds this many seconds (0 disables; nightly derives it from the checked-in BENCH_scale.json baseline + 15%)")
 	evalGate := flag.Bool("scale-eval-gate", false, "scale run: enable the field eval counters and fail if any pipeline step reports a scalar-Eval fallback")
+	scaleKillResume := flag.Bool("scale-kill-resume", false, "scale run: instead of the measured run, gate checkpoint/resume - run uninterrupted, kill at every refinement iteration after persisting the pipeline checkpoint, resume each from the serialized blob on a fresh network, and fail unless colors/rounds/messages match bit for bit")
 	scaleProcs := flag.String("scale-procs", "", "scale run: comma-separated core counts (e.g. 1,2,4,8); one full run per count with GOMAXPROCS and the worker pool pinned, asserting identical results")
 	scaleShards := flag.String("scale-shards", "", "scale run: comma-separated shard counts (e.g. 1,2,4,8); one full run per count on the shard-structured engine, asserting identical results")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -127,6 +128,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *scaleKillResume {
+			return runKillResume(*scaleN, *scaleA, *scaleP, *seed, *graphPath, shards)
+		}
 		return runScale(*scaleN, *scaleA, *scaleP, *seed, *graphPath, *shadowN, *allocBudget, *wallBudget, *evalGate, procs, shards, *jsonOut, *tracePath, *serveAddr != "")
 	}
 
@@ -178,6 +182,32 @@ func run() error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d experiments violated their bound", bad)
+	}
+	return nil
+}
+
+// runKillResume executes the checkpoint/resume gate: ScaleKillResume
+// kills Legal-Coloring at every refinement iteration (persisting the
+// pipeline checkpoint through the real serializer each time) and
+// resumes each kill on a fresh network, failing unless the resumed
+// coloring and the merged rounds/messages totals match the
+// uninterrupted run bit for bit. With -scale-shards the gate runs once
+// per listed shard count (the flat engine at count 1).
+func runKillResume(n, a, p int, seed int64, graphPath string, shards []int) error {
+	if len(shards) == 0 {
+		shards = []int{1}
+	}
+	for _, k := range shards {
+		opt := experiments.ScaleOptions{
+			N: n, Arboricity: a, P: p, Seed: seed, GraphPath: graphPath,
+			Delivery: dist.DeliveryBatch, Shards: k,
+		}
+		rep, err := experiments.ScaleKillResume(opt)
+		if err != nil {
+			return fmt.Errorf("kill-resume (shards=%d): %w", k, err)
+		}
+		fmt.Printf("kill-resume ok (shards=%d): %d iterations killed+resumed, colors/rounds/messages %d/%d/%d, checkpoint %d bytes\n",
+			k, rep.Iterations, rep.Colors, rep.Rounds, rep.Messages, rep.Bytes)
 	}
 	return nil
 }
@@ -333,9 +363,13 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 
 	// Seal the trace: flush the probe's ring, append the eval-stat
 	// snapshot, close the file. Done before the gates below so a failing
-	// gate still leaves a complete trace artifact.
+	// gate still leaves a complete trace artifact. A sink write failure
+	// surfaces here - the run's numbers are still printed, but the exit
+	// is non-zero because the trace artifact is incomplete.
 	if probe != nil {
-		probe.Close()
+		if err := probe.Close(); err != nil {
+			return fmt.Errorf("probe sink: %w", err)
+		}
 	}
 	if tw != nil {
 		tw.WriteEvalStats(field.EvalStatsSnapshot())
@@ -412,5 +446,5 @@ func runScale(n, a, p int, seed int64, graphPath string, shadowN int, allocBudge
 // -serve endpoint scrapes when no -trace file was requested.
 type discardSink struct{}
 
-func (discardSink) FlushRounds([]dist.RoundRecord) {}
-func (discardSink) FlushRuns([]dist.RunRecord)     {}
+func (discardSink) FlushRounds([]dist.RoundRecord) error { return nil }
+func (discardSink) FlushRuns([]dist.RunRecord) error     { return nil }

@@ -10,7 +10,8 @@
 //     constant word widths, and width-bound send/output calls must agree
 //     with the declaration.
 //   - failpath: vertex programs must report errors through Node.Fail, not
-//     by smuggling error values through the Output slot.
+//     by smuggling error values through the Output slot or raising raw
+//     panics from Step/StepWords bodies.
 //
 // Annotations. Sanctioned exceptions are declared in source:
 //
@@ -21,6 +22,8 @@
 //	                             a noalloc function (e.g. pooled growth).
 //	//distvet:unordered <why>  - site line: map iteration whose ordered-
 //	                             looking sink is in fact order-free.
+//	//distvet:panic-ok <why>   - site line: sanctioned raw panic inside a
+//	                             vertex-program Step/StepWords body.
 //
 // Site-line annotations attach to constructs on the same line or the line
 // directly below (a directive comment of its own). Every suppression

@@ -7,20 +7,34 @@ import (
 	"repro/internal/analysis"
 )
 
-// FailPathAnalyzer flags the pre-word-plane error idiom of assigning an
-// error value to dist.Node.Output ("n.Output = err"). Only the boxed
-// []any plane can carry it, the word plane silently drops it, and the
-// engine has a first-class replacement: Node.Fail records the error in
+// FailPathAnalyzer enforces the first-class error path of vertex
+// programs, two ways:
+//
+//   - it flags the pre-word-plane error idiom of assigning an error value
+//     to dist.Node.Output ("n.Output = err"): only the boxed []any plane
+//     can carry it, the word plane silently drops it;
+//   - it flags raw panic(...) calls in Step/StepWords bodies: the engine
+//     contains a vertex-program panic, but the report is an engine abort
+//     (ErrVertexPanic) rather than the program's own diagnosis.
+//
+// The replacement for both is Node.Fail/Failf, which records the error in
 // the per-run slot (smallest failing vertex wins, deterministically) and
-// aborts the run at the end of the round on every transport.
+// aborts the run at the end of the round on every transport. A panic that
+// is genuinely the right tool (an invariant whose violation means the
+// program itself is broken) is sanctioned in place:
+//
+//	//distvet:panic-ok <why>
+//
+// on the panic's line or the line above.
 var FailPathAnalyzer = &analysis.Analyzer{
 	Name: "failpath",
-	Doc:  "flag error values smuggled through dist.Node.Output instead of Node.Fail",
+	Doc:  "flag error values smuggled through dist.Node.Output and raw panics in vertex-program steps instead of Node.Fail",
 	Run:  runFailPath,
 }
 
 func runFailPath(pass *analysis.Pass) error {
 	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	ann := gatherAnnots(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(node ast.Node) bool {
 			assign, ok := node.(*ast.AssignStmt)
@@ -45,8 +59,57 @@ func runFailPath(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if name := decl.Name.Name; name != "Step" && name != "StepWords" {
+				continue
+			}
+			if !hasNodeParam(pass, decl) {
+				continue
+			}
+			checkStepPanics(pass, ann, decl)
+		}
 	}
 	return nil
+}
+
+// checkStepPanics flags raw panic calls in one vertex-program step body
+// (closures included - they still run inside the step).
+func checkStepPanics(pass *analysis.Pass, ann *annots, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Uses[id]; !ok || obj != types.Universe.Lookup("panic") {
+			return true // a shadowed panic is someone else's problem
+		}
+		if an, ok := ann.at(call.Pos(), "panic-ok"); ok {
+			checkReason(pass, an)
+			return true
+		}
+		pass.Reportf(call.Pos(), "raw panic in vertex program %s (the engine contains it, but the run reports an engine abort, not your diagnosis); use n.Fail(err) / n.Failf, or sanction with //distvet:panic-ok <why>", decl.Name.Name)
+		return true
+	})
+}
+
+// hasNodeParam reports whether decl takes a *dist.Node parameter - the
+// signature shape marking it a vertex-program entry point.
+func hasNodeParam(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	for _, field := range decl.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isNodeType(tv.Type) {
+			return true
+		}
+	}
+	return false
 }
 
 // isNodeField reports whether sel selects a field of dist.Node.
@@ -55,7 +118,11 @@ func isNodeField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	if !ok {
 		return false
 	}
-	t := tv.Type
+	return isNodeType(tv.Type)
+}
+
+// isNodeType reports whether t is dist.Node or a pointer to it.
+func isNodeType(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}

@@ -23,6 +23,32 @@ func (algo) Step(n *dist.Node, inbox []dist.Message) {
 	n.Failf("vertex %d broke", n.ID())
 }
 
+func (algo) StepWords(n *dist.Node, inbox []int64) {
+	if n.ID() < 0 {
+		panic("impossible id") // want `raw panic in vertex program StepWords`
+	}
+	func() {
+		panic("closures still run inside the step") // want `raw panic in vertex program StepWords`
+	}()
+	//distvet:panic-ok engine-misuse guard; the program itself is broken here
+	panic("sanctioned")
+	panic("sanctioned inline") //distvet:panic-ok same-line directive
+	panic("no reason given")   /* want "annotation requires a justification" */ //distvet:panic-ok
+}
+
+// step is not a vertex-program entry point (wrong name): raw panics are
+// its own business.
+func (algo) step(n *dist.Node) {
+	panic("helper panic, out of scope")
+}
+
+// Step without a *dist.Node parameter is some other Step entirely.
+type walker struct{}
+
+func (walker) Step(depth int) {
+	panic("not a vertex program")
+}
+
 // notNode has an Output field too; assigning an error to it is fine -
 // only dist.Node's slot feeds the engine's result decoding.
 type notNode struct{ Output any }

@@ -51,6 +51,38 @@ type Config struct {
 	// AND across subgraph boundaries (disjoint palettes per base label).
 	Labels []int
 	Active []bool
+	// Checkpoint resumes the refinement loop from a state captured by an
+	// earlier run's OnIteration callback instead of starting at iteration
+	// zero. The checkpoint must come from a run on the same instance with
+	// the same Config (Arboricity, P, Eps, Labels); the pipeline cannot
+	// verify that and a mismatched checkpoint produces garbage, not an
+	// error. The resumed run is bit-for-bit identical to the uninterrupted
+	// one: z and alpha fully determine the remaining iterations.
+	Checkpoint *Checkpoint
+	// OnIteration, when non-nil, is called after every completed while-loop
+	// iteration with a self-contained Checkpoint (the callback owns the
+	// slices). A non-nil error aborts the pipeline and is returned wrapped;
+	// callbacks that persist the checkpoint and then signal a deliberate
+	// kill use this to model crash/resume in tests and harnesses.
+	OnIteration func(Checkpoint) error
+}
+
+// Checkpoint is the pipeline-level state of Legal-Coloring at a
+// while-loop iteration boundary: everything the refinement loop carries
+// between iterations. It is plain exported data so harness code can
+// serialize it (the engine-level dist.Snapshot covers in-round state;
+// this covers between-run state).
+type Checkpoint struct {
+	// Iteration is the number of completed while-loop iterations.
+	Iteration int
+	// Alpha is the current arboricity bound of every subgraph.
+	Alpha int
+	// Z holds the z-indices (subgraph identities, line 9) after
+	// Iteration refinements.
+	Z []int
+	// Phases is the phase tally recorded so far, in recording order
+	// (rebuild with dist.TallyFromPhases on resume).
+	Phases []dist.PhaseStat
 }
 
 func (c *Config) normalize() error {
@@ -103,6 +135,18 @@ func LegalColoring(net *dist.Network, cfg Config) (*Result, error) {
 	p := cfg.P
 
 	iterations := 0
+	if ck := cfg.Checkpoint; ck != nil {
+		if len(ck.Z) != n {
+			return nil, fmt.Errorf("core: checkpoint has %d z-indices for an n=%d instance", len(ck.Z), n)
+		}
+		if ck.Alpha < 1 || ck.Iteration < 0 {
+			return nil, fmt.Errorf("core: malformed checkpoint (alpha=%d, iteration=%d)", ck.Alpha, ck.Iteration)
+		}
+		copy(z, ck.Z)
+		alpha = ck.Alpha
+		iterations = ck.Iteration
+		tally.Merge(dist.TallyFromPhases(ck.Phases))
+	}
 	for alpha > p {
 		ad, err := arbdefect.Coloring(net, alpha, p, p, cfg.Eps, z, cfg.Active)
 		if err != nil {
@@ -119,6 +163,17 @@ func LegalColoring(net *dist.Network, cfg Config) (*Result, error) {
 		iterations++
 		if iterations > 64 {
 			return nil, fmt.Errorf("core: iteration budget exceeded")
+		}
+		if cfg.OnIteration != nil {
+			ck := Checkpoint{
+				Iteration: iterations,
+				Alpha:     alpha,
+				Z:         append([]int(nil), z...),
+				Phases:    tally.Phases(),
+			}
+			if err := cfg.OnIteration(ck); err != nil {
+				return nil, fmt.Errorf("core: checkpoint callback after iteration %d: %w", iterations, err)
+			}
 		}
 	}
 

@@ -198,14 +198,15 @@ func (n *Node) SendAllWord(w int64) {
 // flushHaltClears, so stale content from earlier runs is never observed.
 //
 //distvet:noalloc
-func (s *simulation) stepSliceBatch(r, lo, hi int) {
+func (s *simulation) stepSliceBatch(r, lo, hi int, cur *int) {
 	w := s.width
-	cur := r % 2
-	words := s.wwords[cur]
-	sent := s.wsent[cur]
+	par := r % 2
+	words := s.wwords[par]
+	sent := s.wsent[par]
 	base := s.topo.base
-	in := WordInbox{width: w, words: s.wwords[1-cur], sent: s.wsent[1-cur]}
+	in := WordInbox{width: w, words: s.wwords[1-par], sent: s.wsent[1-par]}
 	for i := lo; i < hi; i++ {
+		*cur = i
 		v := s.live[i]
 		nd := s.nodes[v]
 		nd.round = r

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -361,31 +362,39 @@ func (c crossSender) InitWords(n *Node) {
 func (crossSender) Step(n *Node, inbox []Message)  {}
 func (crossSender) StepWords(n *Node, i WordInbox) {}
 
-func wantPanic(t *testing.T, substr string, f func()) {
+// wantContained drives a run whose vertex program misuses the engine
+// (the engine panics inside the program's Init/Step). The run-control
+// plane must contain that panic into the deterministic Node.Fail path:
+// an error wrapping ErrVertexPanic that still quotes the engine's own
+// misuse message, plus a partial Result - never a crash.
+func wantContained(t *testing.T, substr string, f func() (*Result, error)) {
 	t.Helper()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Errorf("no panic, want one mentioning %q", substr)
-			return
-		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
-			t.Errorf("panic %v, want mention of %q", r, substr)
-		}
-	}()
-	f()
+	res, err := f()
+	if err == nil {
+		t.Errorf("no error, want contained panic mentioning %q", substr)
+		return
+	}
+	if !errors.Is(err, ErrVertexPanic) {
+		t.Errorf("error %v does not wrap ErrVertexPanic", err)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("error %v, want mention of %q", err, substr)
+	}
+	if res == nil {
+		t.Errorf("contained panic for %q returned no partial result", substr)
+	}
 }
 
 func TestTransportMisusePanics(t *testing.T) {
 	net := NewNetwork(graph.Path(2))
-	wantPanic(t, "SendWords outside the batch transport", func() {
-		net.Run(crossSender{}, RunOptions{Delivery: DeliveryBoxed})
+	wantContained(t, "SendWords outside the batch transport", func() (*Result, error) {
+		return net.Run(crossSender{}, RunOptions{Delivery: DeliveryBoxed})
 	})
-	wantPanic(t, "Send on the batch transport", func() {
-		net.Run(crossSender{useBoxedSend: true}, RunOptions{Delivery: DeliveryBatch})
+	wantContained(t, "Send on the batch transport", func() (*Result, error) {
+		return net.Run(crossSender{useBoxedSend: true}, RunOptions{Delivery: DeliveryBatch})
 	})
-	wantPanic(t, "SendWord with 2-word messages", func() {
-		net.Run(crossSender{}, RunOptions{Delivery: DeliveryBatch})
+	wantContained(t, "SendWord with 2-word messages", func() (*Result, error) {
+		return net.Run(crossSender{}, RunOptions{Delivery: DeliveryBatch})
 	})
 }
 

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,26 @@ import (
 // e.g. the H-partition testing an arboricity guess - detect the overrun
 // with errors.Is.
 var ErrMaxRounds = errors.New("dist: round budget exhausted")
+
+// ErrCanceled is returned (wrapped) by Run when the run's context is
+// canceled. The engine checks the context once per round boundary, so the
+// returned partial Result reports a whole number of completed rounds and
+// the session stays reusable: the next Run on the same Network is
+// bit-for-bit identical to one on a fresh network.
+var ErrCanceled = errors.New("dist: run canceled")
+
+// ErrDeadline is returned (wrapped) by Run when the run's context
+// deadline expires or RunOptions.WallBudget is exhausted, with the same
+// round-boundary and partial-Result semantics as ErrCanceled.
+var ErrDeadline = errors.New("dist: run deadline exceeded")
+
+// ErrVertexPanic is returned (wrapped) by Run when a vertex program
+// panics. The panic is recovered on the worker goroutine and converted
+// into the deterministic Node.Fail path: the smallest panicking vertex is
+// reported (identically at every worker and shard count), the run aborts
+// at that round boundary with a partial Result, and the session stays
+// reusable.
+var ErrVertexPanic = errors.New("dist: vertex program panicked")
 
 // defaultMaxRounds caps runs that set no explicit budget, so a buggy
 // vertex program deadlocks the simulation instead of the process. Every
@@ -71,6 +92,26 @@ type RunOptions struct {
 	// speedup curve. Results are bit-for-bit identical at every setting;
 	// only wall time changes. Negative counts are an error.
 	Workers int
+	// Context, when non-nil, aborts the run when it is canceled or its
+	// deadline expires. The engine checks it exactly once per round
+	// boundary (never mid-round), returning a partial Result wrapped in
+	// ErrCanceled or ErrDeadline; the session's pooled state is returned
+	// intact. Nil resolves to the Network's context (WithContext), else
+	// to "never aborts". The unprobed fast path pays one boolean check.
+	Context context.Context
+	// WallBudget, when positive, aborts the run with ErrDeadline once
+	// the run's wall time (setup through the current round boundary)
+	// exceeds it - a convenience over Context for callers that want a
+	// per-run budget without managing a context. Negative is an error.
+	WallBudget time.Duration
+	// SnapshotOnAbort captures a Snapshot of the round-structured engine
+	// state into Result.Snapshot when the run aborts via Context or
+	// WallBudget (not on vertex failure, whose mid-round state is not
+	// snapshot-clean). Requires a word-I/O batch run whose state lives
+	// entirely in the word columns (see Snapshot); the capture verifies
+	// this and the abort error is annotated if the program does not
+	// qualify.
+	SnapshotOnAbort bool
 }
 
 // Result reports a completed run.
@@ -96,6 +137,12 @@ type Result struct {
 	// PeakLive is the number of live vertices the run started with (the
 	// live set only shrinks).
 	PeakLive int
+	// Snapshot is the captured engine state of a run aborted with
+	// RunOptions.SnapshotOnAbort (nil otherwise). It owns its memory -
+	// nothing aliases the session's pooled columns - so it stays valid
+	// across later runs and can be serialized (WriteTo) or resumed
+	// (Network.Resume) at any time.
+	Snapshot *Snapshot
 }
 
 // Node is the per-vertex view an Algorithm operates on. Input, State and
@@ -202,6 +249,9 @@ type Network struct {
 	// probe, when non-nil, receives round- and run-level trace records
 	// from every Run on this view; see WithProbe and probe.go.
 	probe *Probe
+	// ctx, when non-nil, is the run context RunOptions.Context == nil
+	// resolves to; see WithContext.
+	ctx context.Context
 }
 
 // NewNetwork returns a network with canonical identifiers id(v) = v+1.
@@ -265,6 +315,20 @@ func (net *Network) WithDelivery(d Delivery) *Network {
 	return &c
 }
 
+// WithContext returns a view of the network sharing the graph,
+// identifier assignment and session whose Runs resolve
+// RunOptions.Context == nil to ctx. Pipelines that call Run internally
+// with default options inherit the context, which is how a whole
+// multi-phase algorithm (LegalColoring and friends) becomes cancelable
+// without threading a context through every signature. A canceled run
+// aborts at the next round boundary with a partial Result wrapped in
+// ErrCanceled (or ErrDeadline); the session stays reusable.
+func (net *Network) WithContext(ctx context.Context) *Network {
+	c := *net
+	c.ctx = ctx
+	return &c
+}
+
 // autoParallelThreshold is the participant count above which the auto
 // worker heuristic fans a sweep out; below it the per-round
 // synchronization costs more than it saves. Explicitly pinned worker
@@ -278,6 +342,17 @@ const minChunk = 64
 // Run executes the vertex program round-by-round until every active node
 // has halted or the round budget trips.
 func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
+	s, err := net.prepare(algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// prepare validates a run's options, assembles the pooled simulation and
+// resolves its abort sources - everything Run does before entering the
+// round loop. Resume (snapshot.go) shares it.
+func (net *Network) prepare(algo Algorithm, opts RunOptions) (*simulation, error) {
 	if algo == nil {
 		return nil, errors.New("dist: nil algorithm")
 	}
@@ -297,6 +372,9 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("dist: negative worker count %d", opts.Workers)
 	}
+	if opts.WallBudget < 0 {
+		return nil, fmt.Errorf("dist: negative wall budget %v", opts.WallBudget)
+	}
 	batch, err := net.resolveDelivery(algo, opts)
 	if err != nil {
 		return nil, err
@@ -308,7 +386,8 @@ func (net *Network) Run(algo Algorithm, opts RunOptions) (*Result, error) {
 	}
 	s.start = start
 	s.setupNS = time.Since(start).Nanoseconds() //distvet:wallclock same setup-vs-compute attribution
-	return s.run()
+	s.initAbort()
+	return s, nil
 }
 
 // resolveDelivery picks the transport of a Run: the explicit
@@ -374,6 +453,20 @@ type simulation struct {
 
 	// failSlot is the per-run error slot Node.Fail records into.
 	failSlot runFailure
+
+	// Run-control state. ctx/deadline are the resolved abort sources,
+	// checked once per round boundary (checkAbort); hasAbort folds both
+	// into the single boolean branch the fast path pays. phase is the
+	// probe phase label panic reports carry (empty unprobed). resumed is
+	// set by restore (snapshot.go): the loop starts at startRound+1 and
+	// Init is skipped (a snapshot captured at round 0 already holds
+	// Init's sends, so startRound alone cannot distinguish the cases).
+	ctx        context.Context
+	deadline   time.Time
+	hasAbort   bool
+	phase      string
+	startRound int
+	resumed    bool
 
 	// Batch-transport state (see batch.go); fw is nil on the boxed path.
 	fw     FixedWidthAlgorithm
@@ -568,17 +661,24 @@ func (s *simulation) run() (*Result, error) {
 		return s.runProbed()
 	}
 	defer s.close()
-	s.stepRound(0)
-	s.collectHalted(0)
-	if err := s.failSlot.take(); err != nil {
-		return nil, err
+	rounds := s.startRound
+	if rounds == 0 && !s.resumed {
+		s.stepRound(0)
+		s.collectHalted(0)
+		if err := s.failSlot.take(); err != nil {
+			return s.partial(0), err
+		}
+		if s.hasAbort {
+			if err := s.checkAbort(); err != nil {
+				return s.abortResult(0, err)
+			}
+		}
 	}
 	budget := s.opts.MaxRounds
 	if budget == 0 {
 		budget = defaultMaxRounds
 	}
-	rounds := 0
-	for r := 1; len(s.live) > 0; r++ {
+	for r := rounds + 1; len(s.live) > 0; r++ {
 		if r > budget {
 			return nil, fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
 				len(s.live), budget, ErrMaxRounds)
@@ -591,7 +691,12 @@ func (s *simulation) run() (*Result, error) {
 		rounds = r
 		s.collectHalted(r)
 		if err := s.failSlot.take(); err != nil {
-			return nil, err
+			return s.partial(rounds), err
+		}
+		if s.hasAbort {
+			if err := s.checkAbort(); err != nil {
+				return s.abortResult(rounds, err)
+			}
 		}
 	}
 	outs, msgs := s.collectResults()
@@ -603,6 +708,73 @@ func (s *simulation) run() (*Result, error) {
 		Wall:        time.Since(s.start), //distvet:wallclock Result.Wall is host-side observability, documented non-deterministic
 		PeakLive:    len(s.topo.live),
 	}, nil
+}
+
+// initAbort resolves the run's abort sources: the explicit
+// RunOptions.Context, else the Network context (WithContext); the
+// WallBudget deadline anchors at the run's start time. Called after
+// s.start is set, on both fresh and resumed runs.
+func (s *simulation) initAbort() {
+	ctx := s.opts.Context
+	if ctx == nil {
+		ctx = s.net.ctx
+	}
+	s.ctx = ctx
+	s.deadline = time.Time{}
+	if wb := s.opts.WallBudget; wb > 0 {
+		s.deadline = s.start.Add(wb)
+	}
+	s.hasAbort = s.ctx != nil || !s.deadline.IsZero()
+}
+
+// checkAbort reports the run's abort condition at a round boundary: a
+// canceled or expired context maps to ErrCanceled/ErrDeadline, an
+// exhausted WallBudget to ErrDeadline. Only called between rounds, so an
+// abort never observes mid-round state.
+func (s *simulation) checkAbort() error {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("dist: run aborted at round boundary: %v: %w", err, ErrDeadline)
+			}
+			return fmt.Errorf("dist: run aborted at round boundary: %v: %w", err, ErrCanceled)
+		}
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) { //distvet:wallclock WallBudget enforcement is inherently wall-clock; documented non-deterministic
+		return fmt.Errorf("dist: wall budget %v exhausted: %w", s.opts.WallBudget, ErrDeadline)
+	}
+	return nil
+}
+
+// partial assembles the Result of a run that stopped early - abort or
+// vertex failure - at a round boundary: the outputs and message totals
+// of the rounds completed so far, in the same shape as a completed run.
+func (s *simulation) partial(rounds int) *Result {
+	outs, msgs := s.collectResults()
+	return &Result{
+		Outputs:     outs,
+		OutputWords: s.outCol,
+		Rounds:      rounds,
+		Messages:    msgs,
+		Wall:        time.Since(s.start), //distvet:wallclock Result.Wall is host-side observability, documented non-deterministic
+		PeakLive:    len(s.topo.live),
+	}
+}
+
+// abortResult pairs the partial Result of a context/deadline abort with
+// its error, capturing a Snapshot first when the run asked for one (the
+// session's pooled columns are still bound at this point; close() runs
+// after).
+func (s *simulation) abortResult(rounds int, abortErr error) (*Result, error) {
+	res := s.partial(rounds)
+	if s.opts.SnapshotOnAbort {
+		snap, err := s.captureSnapshot(rounds)
+		if err != nil {
+			return res, fmt.Errorf("%w; snapshot not captured: %v", abortErr, err)
+		}
+		res.Snapshot = snap
+	}
+	return res, abortErr
 }
 
 // collectResults gathers the boxed outputs and the message total in one
@@ -660,12 +832,57 @@ func (s *simulation) stepRound(r int) {
 	m := len(s.live)
 	w := s.sweepWorkers(m)
 	if w <= 1 {
-		s.stepSlice(r, 0, m)
+		s.rs.curV = grown(s.rs.curV, 1)
+		s.stepSliceGuarded(r, 0, m, &s.rs.curV[0])
 		return
 	}
+	chunk := (m + w - 1) / w
+	s.rs.curV = grown(s.rs.curV, (m+chunk-1)/chunk)
+	cur := s.rs.curV
 	parfor(m, w, func(lo, hi int) {
-		s.stepSlice(r, lo, hi)
+		s.stepSliceGuarded(r, lo, hi, &cur[lo/chunk])
 	})
+}
+
+// stepSliceGuarded runs stepSlice under the panic guard: a panic out of
+// a vertex program (or an engine misuse panic raised inside one, e.g. a
+// bad Send port) is recovered on this worker goroutine and converted
+// into the Node.Fail path so the run degrades to a deterministic failed
+// run instead of a crashed process. cur points at this chunk's pooled
+// cursor slot; stepSlice keeps it on the live-list index being stepped.
+//
+// Determinism: the live list ascends and a panic only skips the REST of
+// its own chunk, so the globally smallest panicking vertex always gets
+// stepped, and runFailure keeps the smallest vertex across chunks - the
+// reported failure is identical at every worker and shard count. (The
+// sends of vertices after a panic in one chunk are skipped, so message
+// totals of panicked runs are not pinned across worker counts.)
+//
+//distvet:noalloc
+func (s *simulation) stepSliceGuarded(r, lo, hi int, cur *int) {
+	*cur = lo
+	defer s.recoverStep(r, lo, hi, cur)
+	s.stepSlice(r, lo, hi, cur)
+}
+
+// recoverStep is stepSliceGuarded's deferred recovery: it attributes the
+// panic to the vertex under the chunk cursor and records it into the
+// run's failure slot wrapped in ErrVertexPanic.
+func (s *simulation) recoverStep(r, lo, hi int, cur *int) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	err := fmt.Errorf("vertex program panic at round %d phase %q: %v: %w", r, s.phase, rec, ErrVertexPanic)
+	if i := *cur; i >= lo && i < hi && i < len(s.live) {
+		if nd := s.nodes[s.live[i]]; nd != nil {
+			nd.Fail(err)
+			return
+		}
+	}
+	// A panic outside any node iteration would be an engine bug; record
+	// it without a vertex attribution rather than crash the process.
+	s.failSlot.record(-1, -1, err)
 }
 
 // stepSlice steps the live nodes in [lo, hi): per-round buffer rebinding,
@@ -674,12 +891,12 @@ func (s *simulation) stepRound(r int) {
 // program's own.
 //
 //distvet:noalloc
-func (s *simulation) stepSlice(r, lo, hi int) {
+func (s *simulation) stepSlice(r, lo, hi int, cur *int) {
 	if s.fw != nil {
 		if s.topo.shard != nil {
-			s.stepSliceBatchSharded(r, lo, hi)
+			s.stepSliceBatchSharded(r, lo, hi, cur)
 		} else {
-			s.stepSliceBatch(r, lo, hi)
+			s.stepSliceBatch(r, lo, hi, cur)
 		}
 		return
 	}
@@ -687,6 +904,7 @@ func (s *simulation) stepSlice(r, lo, hi int) {
 	inSlots := s.topo.inSlots
 	st := s.topo.shard
 	for i := lo; i < hi; i++ {
+		*cur = i
 		v := s.live[i]
 		nd := s.nodes[v]
 		nd.round = r

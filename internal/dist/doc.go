@@ -145,6 +145,53 @@
 // ScratchPooled, setup vs. compute time), which is how cache behavior
 // is asserted in tests and surfaced in traces.
 //
+// # Run control: cancellation, deadlines, panic containment, snapshots
+//
+// Every abort the engine performs lands on a round boundary - after the
+// current round's steps, delivery bookkeeping and halt flushes have
+// completed, never mid-round. That single invariant is what makes the
+// rest of the contract cheap to state:
+//
+//   - Cancellation and deadlines. RunOptions.Context is polled (ctx.Err,
+//     exactly once) at each round boundary; RunOptions.WallBudget bounds
+//     the run's wall time the same way and composes with any context
+//     deadline (whichever expires first wins). An aborted run returns a
+//     non-nil partial Result (rounds completed, messages so far, outputs
+//     as of the boundary) with an error wrapping ErrCanceled or
+//     ErrDeadline. Network.WithContext attaches a context as a view, so
+//     orchestrator pipelines inherit it across phases. The unprobed fast
+//     path pays one nil check when no context is set (the probe-overhead
+//     benchmark gates this).
+//   - Panic containment. A panic raised by a vertex program during
+//     Init/Step (any plane, any worker count, sharded or flat) is
+//     recovered by the engine and converted to the deterministic Node.Fail
+//     path: the run aborts at the end of the round with an error wrapping
+//     ErrVertexPanic that names the smallest panicking vertex, its round,
+//     phase and the recovered value. Worker goroutines never die; the
+//     session stays reusable.
+//   - Session safety. After ANY abort - cancel, deadline, contained panic,
+//     Node.Fail - the same Network's next run is bit-for-bit identical to
+//     a fresh network's (the pooled scratch is re-prepared, and message
+//     flags follow the same parity discipline as normal completion). The
+//     cancel-at-every-round and chaos matrices assert this under -race.
+//   - Snapshots. RunOptions.SnapshotOnAbort captures a Snapshot in the
+//     partial Result at the abort boundary; Network.Resume(alg, opts, sn)
+//     continues it to an end state bit-for-bit identical to the
+//     uninterrupted run. Snapshots are only offered for word-I/O batch
+//     runs whose state lives entirely in the engine's columns (Node.State
+//     and Output unset - the capture verifies this and refuses
+//     otherwise), they serialize to a versioned binary framing (WriteTo /
+//     ReadSnapshot, "DSN1") that rejects truncation and trailing bytes,
+//     and they are portable across shard counts: columns are normalized
+//     to the flat global slot layout on capture and re-localized on
+//     resume. A Snapshot is owned by the caller; the engine never retains
+//     it after Resume.
+//
+// The deterministic fault-injection matrix over these guarantees lives in
+// internal/chaos: seeded panics at chosen (vertex, round) steps, cancels
+// at chosen boundaries, expired deadlines, failing and slow probe sinks,
+// and snapshot truncation, each injected into the paper's real pipelines.
+//
 // # Static-analysis annotations
 //
 // The invariants above are machine-checked by the distvet suite

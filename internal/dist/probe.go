@@ -95,9 +95,16 @@ type RunRecord struct {
 	// result collection.
 	SetupNS   int64 `json:"setup_ns"`
 	ComputeNS int64 `json:"compute_ns"`
-	// Err is the run's error text when it aborted (budget, Node.Fail);
-	// empty on success.
+	// Err is the run's error text when it aborted (budget, Node.Fail,
+	// cancellation); empty on success.
 	Err string `json:"err,omitempty"`
+	// SinkErr marks a record staged after the probe's sink had already
+	// failed: earlier records of the trace may be missing from the
+	// sink's backing store (the flusher keeps delivering every batch,
+	// so a sink that recovers resumes with marked records; one that
+	// stays down costs a cheap rejected call per chunk). The first sink
+	// error itself is returned by Probe.Close.
+	SinkErr bool `json:"sink_err,omitempty"`
 }
 
 // RunStats is the compact cost summary of one engine run, carried by
@@ -120,9 +127,16 @@ func (r *Result) Stats() RunStats {
 // probe itself (only against its own other readers). The record slices
 // are reused after the call returns: a sink must consume or copy them
 // before returning.
+//
+// Sink errors are first-error-sticky: the probe records the first
+// non-nil return, marks subsequently staged RunRecords with SinkErr,
+// and surfaces the error from Probe.Close. The sink keeps receiving
+// every later batch (a recovered sink resumes with marked records; a
+// dead one just rejects cheaply), and the ring keeps draining either
+// way, so runs never block on a failed sink.
 type ProbeSink interface {
-	FlushRounds([]RoundRecord)
-	FlushRuns([]RunRecord)
+	FlushRounds([]RoundRecord) error
+	FlushRuns([]RunRecord) error
 }
 
 // probeChunk is the RoundRecord capacity of one ring chunk; probeChunks
@@ -169,6 +183,30 @@ type Probe struct {
 	done   chan struct{}
 	closed bool
 	totals ProbeTotals
+	// errMu guards sinkErr alone and is never held across a channel
+	// operation: the staging path (which can block on the free ring
+	// while holding mu) and the flusher both touch it only briefly, so
+	// the sticky-error bookkeeping cannot deadlock the ring.
+	errMu   sync.Mutex
+	sinkErr error
+}
+
+// noteSinkErr records the first sink error; later ones are dropped.
+func (p *Probe) noteSinkErr(err error) {
+	p.errMu.Lock()
+	if p.sinkErr == nil {
+		p.sinkErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// SinkErr returns the first error the sink reported, or nil. It is
+// inherently racy against in-flight flushes (a flush may fail right
+// after it returns nil); Close is the authoritative read.
+func (p *Probe) SinkErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.sinkErr
 }
 
 // NewProbe returns a Probe flushing into sink. The caller owns the probe
@@ -189,18 +227,28 @@ func NewProbe(sink ProbeSink) *Probe {
 }
 
 // flush is the background drain: chunks return to the free ring after
-// the sink consumed them.
+// the sink consumed them. A sink error is sticky for reporting (the
+// FIRST one surfaces from Probe.Close and marks later run records with
+// SinkErr) but the sink keeps receiving every batch: a transient fault
+// (disk briefly full) yields a trace with a marked hole rather than a
+// silent stop, and a persistently failing sink costs one cheap rejected
+// call per chunk. Chunks always cycle back to the free ring, so
+// producers never block on a dead sink.
 func (p *Probe) flush(sink ProbeSink) {
 	defer close(p.done)
 	var runBuf [1]RunRecord
 	for b := range p.full {
 		if b.rounds != nil {
-			sink.FlushRounds(b.rounds)
+			if err := sink.FlushRounds(b.rounds); err != nil {
+				p.noteSinkErr(fmt.Errorf("dist: probe sink FlushRounds: %w", err))
+			}
 			p.free <- b.rounds[:0]
 		}
 		if b.hasRun {
 			runBuf[0] = b.run
-			sink.FlushRuns(runBuf[:])
+			if err := sink.FlushRuns(runBuf[:]); err != nil {
+				p.noteSinkErr(fmt.Errorf("dist: probe sink FlushRuns: %w", err))
+			}
 		}
 	}
 }
@@ -251,6 +299,7 @@ func (p *Probe) round(rec RoundRecord) {
 // endRun flushes the staged rounds of the finished run together with its
 // run record, preserving rounds-before-run ordering at the sink.
 func (p *Probe) endRun(rec RunRecord) {
+	rec.SinkErr = p.SinkErr() != nil
 	p.mu.Lock()
 	b := probeBatch{run: rec, hasRun: true}
 	if len(p.cur) > 0 {
@@ -264,14 +313,16 @@ func (p *Probe) endRun(rec RunRecord) {
 }
 
 // Close flushes any staged records and stops the flusher goroutine,
-// returning once the sink has consumed everything. Close is idempotent;
-// attaching the probe to further runs after Close panics.
-func (p *Probe) Close() {
+// returning once the sink has consumed everything. It returns the first
+// error the sink reported over the probe's lifetime (nil when every
+// flush succeeded). Close is idempotent - every call returns the same
+// error - and attaching the probe to further runs after Close panics.
+func (p *Probe) Close() error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		<-p.done
-		return
+		return p.SinkErr()
 	}
 	p.closed = true
 	if len(p.cur) > 0 {
@@ -281,6 +332,7 @@ func (p *Probe) Close() {
 	close(p.full)
 	p.mu.Unlock()
 	<-p.done
+	return p.SinkErr()
 }
 
 // WithProbe returns a view of the network sharing the graph, identifier
@@ -309,21 +361,38 @@ func (s *simulation) runProbed() (*Result, error) {
 	defer s.close()
 	p := s.net.probe
 	seq, phase := p.beginRun()
+	s.phase = phase
 	compute := time.Now()
-	fail := func(err error) error {
-		s.emitRun(p, seq, phase, 0, 0, time.Since(compute), err)
-		return err
+	// fail ends the run early at a round boundary: vertex failures (and
+	// recovered panics) report the partial Result alongside the error;
+	// abort wraps the same path with the optional snapshot capture.
+	fail := func(rounds int, err error) (*Result, error) {
+		res := s.partial(rounds)
+		s.emitRun(p, seq, phase, rounds, res.Messages, time.Since(compute), err)
+		return res, err
 	}
-	s.stepRound(0)
-	s.collectHalted(0)
-	if err := s.failSlot.take(); err != nil {
-		return nil, fail(err)
+	abort := func(rounds int, err error) (*Result, error) {
+		res, aerr := s.abortResult(rounds, err)
+		s.emitRun(p, seq, phase, rounds, res.Messages, time.Since(compute), aerr)
+		return res, aerr
+	}
+	rounds := s.startRound
+	if rounds == 0 && !s.resumed {
+		s.stepRound(0)
+		s.collectHalted(0)
+		if err := s.failSlot.take(); err != nil {
+			return fail(0, err)
+		}
+		if s.hasAbort {
+			if err := s.checkAbort(); err != nil {
+				return abort(0, err)
+			}
+		}
 	}
 	budget := s.opts.MaxRounds
 	if budget == 0 {
 		budget = defaultMaxRounds
 	}
-	rounds := 0
 	var prevSent int64
 	// Sharded runs carry per-shard round telemetry: the step is timed
 	// shard-segment by shard-segment (stepRoundShardTimed) and the send
@@ -343,10 +412,21 @@ func (s *simulation) runProbed() (*Result, error) {
 		shardCum, shardPrev = s.rs.shardCum, s.rs.shardPrev
 		clear(shardPrev)
 	}
-	for r := 1; len(s.live) > 0; r++ {
+	if s.resumed {
+		// Resumed run: the restored send counters include every pre-kill
+		// send, so the per-round message deltas must start from them.
+		if st != nil {
+			prevSent = s.sentTotalShards(st, shardPrev)
+		} else {
+			prevSent = s.sentTotal()
+		}
+	}
+	for r := rounds + 1; len(s.live) > 0; r++ {
 		if r > budget {
-			return nil, fail(fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
-				len(s.live), budget, ErrMaxRounds))
+			err := fmt.Errorf("dist: %d nodes still running after %d rounds: %w",
+				len(s.live), budget, ErrMaxRounds)
+			s.emitRun(p, seq, phase, 0, 0, time.Since(compute), err)
+			return nil, err
 		}
 		live := len(s.live)
 		roundStart := time.Now()
@@ -394,7 +474,12 @@ func (s *simulation) runProbed() (*Result, error) {
 		})
 		prevSent = cum
 		if err := s.failSlot.take(); err != nil {
-			return nil, fail(err)
+			return fail(rounds, err)
+		}
+		if s.hasAbort {
+			if err := s.checkAbort(); err != nil {
+				return abort(rounds, err)
+			}
 		}
 	}
 	outs, msgs := s.collectResults()
@@ -442,18 +527,21 @@ func (s *simulation) stepRoundTimed(r int) (workers int, maxNS, meanNS int64) {
 	m := len(s.live)
 	w := s.sweepWorkers(m)
 	if w <= 1 {
+		s.rs.curV = grown(s.rs.curV, 1)
 		t := time.Now()
-		s.stepSlice(r, 0, m)
+		s.stepSliceGuarded(r, 0, m, &s.rs.curV[0])
 		d := time.Since(t).Nanoseconds()
 		return 1, d, d
 	}
 	chunk := (m + w - 1) / w
 	chunks := (m + chunk - 1) / chunk
 	s.rs.chunkNS = grown(s.rs.chunkNS, chunks)
+	s.rs.curV = grown(s.rs.curV, chunks)
 	ns := s.rs.chunkNS
+	cur := s.rs.curV
 	parfor(m, w, func(lo, hi int) {
 		t := time.Now()
-		s.stepSlice(r, lo, hi)
+		s.stepSliceGuarded(r, lo, hi, &cur[lo/chunk])
 		ns[lo/chunk] = time.Since(t).Nanoseconds()
 	})
 	var sum int64

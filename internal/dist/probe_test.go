@@ -19,16 +19,18 @@ type memSink struct {
 	runs   []RunRecord
 }
 
-func (s *memSink) FlushRounds(recs []RoundRecord) {
+func (s *memSink) FlushRounds(recs []RoundRecord) error {
 	s.mu.Lock()
 	s.rounds = append(s.rounds, recs...) // must copy: the slice is reused
 	s.mu.Unlock()
+	return nil
 }
 
-func (s *memSink) FlushRuns(recs []RunRecord) {
+func (s *memSink) FlushRuns(recs []RunRecord) error {
 	s.mu.Lock()
 	s.runs = append(s.runs, recs...)
 	s.mu.Unlock()
+	return nil
 }
 
 func probedGossip(t *testing.T, workers int) (*Result, *memSink) {
@@ -277,8 +279,8 @@ func BenchmarkRunProbeOff(b *testing.B) {
 
 type nullSink struct{}
 
-func (nullSink) FlushRounds([]RoundRecord) {}
-func (nullSink) FlushRuns([]RunRecord)     {}
+func (nullSink) FlushRounds([]RoundRecord) error { return nil }
+func (nullSink) FlushRuns([]RunRecord) error     { return nil }
 
 func BenchmarkRunProbeOn(b *testing.B) {
 	net := benchGossipNet(b)

@@ -427,6 +427,10 @@ type runScratch struct {
 	counts []int
 	starts []int
 	sums   []int64
+	// curV holds one live-list cursor per step chunk: stepSlice records
+	// the index it is stepping so the panic guard (stepSliceGuarded) can
+	// attribute a recovered vertex-program panic to the exact vertex.
+	curV []int
 	// chunkNS holds the per-chunk step timings of a probed run
 	// (probe.go); unused and nil on unprobed runs.
 	chunkNS []int64

@@ -165,17 +165,18 @@ func growSlices[T any](s [][]T, k int) [][]T {
 // one extra byte read. The flat path keeps its own loop untouched.
 //
 //distvet:noalloc
-func (s *simulation) stepSliceBatchSharded(r, lo, hi int) {
+func (s *simulation) stepSliceBatchSharded(r, lo, hi int, cur *int) {
 	w := s.width
-	cur := r % 2
+	par := r % 2
 	st := s.topo.shard
 	base := s.topo.base
 	vshard := st.vshard
 	cuts := st.slotCuts
-	words := s.shWords[cur]
-	sent := s.shSent[cur]
-	in := WordInbox{width: w, shard: &s.shIn[1-cur]}
+	words := s.shWords[par]
+	sent := s.shSent[par]
+	in := WordInbox{width: w, shard: &s.shIn[1-par]}
 	for i := lo; i < hi; i++ {
+		*cur = i
 		v := s.live[i]
 		nd := s.nodes[v]
 		nd.round = r
@@ -233,6 +234,8 @@ func (s *simulation) stepRoundShardTimed(r int, st *shardTopo, segs []int, ns []
 	m := len(s.live)
 	w := s.sweepWorkers(m)
 	k := st.k()
+	s.rs.curV = grown(s.rs.curV, k)
+	cur := s.rs.curV
 	if w <= 1 {
 		for j := 0; j < k; j++ {
 			lo, hi := segs[j], segs[j+1]
@@ -241,7 +244,7 @@ func (s *simulation) stepRoundShardTimed(r int, st *shardTopo, segs []int, ns []
 				continue
 			}
 			t := time.Now()
-			s.stepSlice(r, lo, hi)
+			s.stepSliceGuarded(r, lo, hi, &cur[j])
 			ns[j] = time.Since(t).Nanoseconds()
 		}
 		workers = 1
@@ -257,7 +260,7 @@ func (s *simulation) stepRoundShardTimed(r int, st *shardTopo, segs []int, ns []
 			go func(j, lo, hi int) {
 				defer wg.Done()
 				t := time.Now()
-				s.stepSlice(r, lo, hi)
+				s.stepSliceGuarded(r, lo, hi, &cur[j])
 				ns[j] = time.Since(t).Nanoseconds()
 			}(j, lo, hi)
 		}

@@ -3,7 +3,6 @@ package dist
 import (
 	"math/rand"
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -357,10 +356,7 @@ func TestShardedSendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if r := recover(); r == nil || !strings.Contains(r.(string), "dist: node") {
-			t.Fatalf("expected engine misuse panic, got %v", r)
-		}
-	}()
-	view.Run(crossSender{}, RunOptions{Delivery: DeliveryBatch})
+	wantContained(t, "dist: node", func() (*Result, error) {
+		return view.Run(crossSender{}, RunOptions{Delivery: DeliveryBatch})
+	})
 }

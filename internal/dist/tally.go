@@ -109,3 +109,11 @@ func (t *Tally) Phase(i int) PhaseStat { return t.phases[i] }
 func (t *Tally) Phases() []PhaseStat {
 	return append([]PhaseStat(nil), t.phases...)
 }
+
+// TallyFromPhases rebuilds a Tally from a recorded phase breakdown - the
+// inverse of Phases, used by checkpoint decoders that serialized the
+// per-phase stats (PhaseStat is plain exported data). The slice is
+// copied; the caller keeps ownership.
+func TallyFromPhases(phases []PhaseStat) *Tally {
+	return &Tally{phases: append([]PhaseStat(nil), phases...)}
+}

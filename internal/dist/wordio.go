@@ -160,6 +160,16 @@ type runFailure struct {
 	err    error
 }
 
+// record is the non-Node entry into the failure slot (the panic guard's
+// engine-bug fallback); the smallest-vertex-wins rule still applies.
+func (f *runFailure) record(vertex, id int, err error) {
+	f.mu.Lock()
+	if f.err == nil || vertex < f.vertex {
+		f.vertex, f.id, f.err = vertex, id, err
+	}
+	f.mu.Unlock()
+}
+
 func (f *runFailure) take() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()

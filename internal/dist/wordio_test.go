@@ -306,16 +306,16 @@ func (inputTouch) StepWords(n *Node, i WordInbox) {}
 
 func TestWordIOMisusePanics(t *testing.T) {
 	net := NewNetwork(graph.Path(2))
-	wantPanic(t, "InputWords outside a word-I/O run", func() {
-		net.Run(inputTouch{}, RunOptions{Delivery: DeliveryBoxed})
+	wantContained(t, "InputWords outside a word-I/O run", func() (*Result, error) {
+		return net.Run(inputTouch{}, RunOptions{Delivery: DeliveryBoxed})
 	})
 	// SetOutputWord with a wider declared output.
-	wantPanic(t, "SetOutputWord with 2 output words", func() {
-		net.Run(badSetter{}, RunOptions{Delivery: DeliveryBatch})
+	wantContained(t, "SetOutputWord with 2 output words", func() (*Result, error) {
+		return net.Run(badSetter{}, RunOptions{Delivery: DeliveryBatch})
 	})
 	// SetOutputWords with the wrong word count.
-	wantPanic(t, "sets 1 of 2 output words", func() {
-		net.Run(badSetter{short: true}, RunOptions{Delivery: DeliveryBatch})
+	wantContained(t, "sets 1 of 2 output words", func() (*Result, error) {
+		return net.Run(badSetter{short: true}, RunOptions{Delivery: DeliveryBatch})
 	})
 }
 

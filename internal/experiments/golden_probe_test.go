@@ -25,19 +25,21 @@ type countSink struct {
 	messages int64
 }
 
-func (s *countSink) FlushRounds(recs []dist.RoundRecord) {
+func (s *countSink) FlushRounds(recs []dist.RoundRecord) error {
 	s.mu.Lock()
 	s.rounds += len(recs)
 	for _, r := range recs {
 		s.messages += r.Messages
 	}
 	s.mu.Unlock()
+	return nil
 }
 
-func (s *countSink) FlushRuns(recs []dist.RunRecord) {
+func (s *countSink) FlushRuns(recs []dist.RunRecord) error {
 	s.mu.Lock()
 	s.runs += len(recs)
 	s.mu.Unlock()
+	return nil
 }
 
 func TestGoldenE04LinialProbed(t *testing.T) {

@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+func TestScaleKillResumeSmall(t *testing.T) {
+	rep, err := ScaleKillResume(ScaleOptions{N: 4000, Arboricity: 8, P: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", rep)
+	if rep.Iterations < 1 {
+		t.Fatalf("no iterations exercised")
+	}
+}

@@ -40,7 +40,52 @@ const (
 	maxBinVertices = 1<<31 - 1
 	maxBinEdges    = 1<<31 - 1
 	maxBinShard    = 1 << 24
+
+	// maxBinFreeVertices bounds the vertices a header may declare beyond
+	// the edge-backed ones (2m endpoints). Isolated vertices cost zero
+	// payload bytes, so without this clamp a 28-byte file could demand
+	// O(n) adjacency allocations for any n up to maxBinVertices - an
+	// allocation bomb on untrusted input. With it, the readers' O(n+m)
+	// working set is bounded by a constant multiple of the input size
+	// plus this fixed slack. The writer enforces the same bound so every
+	// written file loads back.
+	maxBinFreeVertices = 1 << 21
 )
+
+// binMinPayload is the smallest possible byte size of the edge payload
+// for m declared edges at the given on-disk shard size: one 4-byte count
+// per maximally-packed shard plus 8 bytes per edge. (Sparser framings
+// are legal and larger, so this is a floor, not the exact size.)
+func binMinPayload(m64 uint64, shard uint32) int64 {
+	if m64 == 0 {
+		return 0
+	}
+	shards := (m64 + uint64(shard) - 1) / uint64(shard)
+	return int64(4*shards + 8*m64)
+}
+
+// byteSizeHint reports the bytes remaining in r when it is seekable, or
+// -1 when it is not (position is restored either way). Readers use it to
+// reject forged headers whose declared sizes could not possibly fit the
+// input, before any size-proportional allocation.
+func byteSizeHint(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
 
 // WriteBinary writes the graph in the DCG1 binary format with the default
 // shard size.
@@ -58,6 +103,9 @@ func (g *Graph) WriteBinarySharded(w io.Writer, shardSize int) error {
 	}
 	if g.m > maxBinEdges {
 		return fmt.Errorf("graph: %d edges exceed the binary format's %d", g.m, maxBinEdges)
+	}
+	if uint64(g.n) > 2*uint64(g.m)+maxBinFreeVertices {
+		return fmt.Errorf("graph: %d vertices with only %d edges exceed the binary format's isolated-vertex allowance (2m+%d)", g.n, g.m, maxBinFreeVertices)
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var hdr [28]byte
@@ -116,34 +164,23 @@ func OpenBinary(path string) (*Graph, error) {
 // reader: shards stream through a fixed-size record buffer into a flat
 // endpoint array, and the adjacency structure is carved out of one
 // backing allocation. It validates magic, version, declared sizes, edge
-// endpoints, self-loops, duplicates and trailing garbage, so it is safe
-// on untrusted input (see FuzzReadBinary).
+// endpoints, self-loops, duplicates and trailing garbage, and bounds its
+// allocations by the input size (a seekable r is probed for a byte-size
+// hint; otherwise edge storage grows only as records actually arrive),
+// so it is safe on untrusted input (see FuzzReadBinary).
 func ReadBinary(r io.Reader) (*Graph, error) {
+	hint := byteSizeHint(r)
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [28]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
-	if string(hdr[0:4]) != binMagic {
-		return nil, fmt.Errorf("graph: bad magic %q (not a %s binary graph)", hdr[0:4], binMagic)
+	n64, m64, shard, err := parseBinHeader(hdr)
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != binVersion {
-		return nil, fmt.Errorf("graph: unsupported binary version %d (want %d)", v, binVersion)
-	}
-	n64 := binary.LittleEndian.Uint64(hdr[8:16])
-	m64 := binary.LittleEndian.Uint64(hdr[16:24])
-	shard := binary.LittleEndian.Uint32(hdr[24:28])
-	if n64 > maxBinVertices {
-		return nil, fmt.Errorf("graph: header declares %d vertices (max %d)", n64, maxBinVertices)
-	}
-	if m64 > maxBinEdges {
-		return nil, fmt.Errorf("graph: header declares %d edges (max %d)", m64, maxBinEdges)
-	}
-	if max := n64 * (n64 - 1) / 2; m64 > max {
-		return nil, fmt.Errorf("graph: header declares %d edges but n=%d admits at most %d", m64, n64, max)
-	}
-	if shard < 1 || shard > maxBinShard {
-		return nil, fmt.Errorf("graph: shard size %d outside [1, %d]", shard, maxBinShard)
+	if need := binMinPayload(m64, shard); hint >= 0 && hint < 28+need {
+		return nil, fmt.Errorf("graph: header declares %d edges needing %d payload bytes, input holds %d", m64, need, hint-28)
 	}
 	n, m := int(n64), int(m64)
 

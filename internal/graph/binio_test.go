@@ -1,7 +1,9 @@
 package graph
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -234,4 +236,57 @@ func TestReadEdgeListStillAcceptsValidInput(t *testing.T) {
 		t.Fatalf("n=%d m=%d", g.N(), g.M())
 	}
 	sameGraph(t, g, Path(4))
+}
+
+// TestBinaryAllocClamps pins the allocation-bomb defenses: a forged
+// header whose declared sizes could not fit the input is rejected before
+// any size-proportional allocation, on both readers, seekable or not.
+func TestBinaryAllocClamps(t *testing.T) {
+	hdr := func(n, m uint64, shard uint32) []byte {
+		b := make([]byte, 28)
+		copy(b, binMagic)
+		binary.LittleEndian.PutUint32(b[4:8], binVersion)
+		binary.LittleEndian.PutUint64(b[8:16], n)
+		binary.LittleEndian.PutUint64(b[16:24], m)
+		binary.LittleEndian.PutUint32(b[24:28], shard)
+		return b
+	}
+	rejectBoth := func(name string, data []byte, substr string) {
+		t.Helper()
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), substr) {
+			t.Errorf("%s: ReadBinary err=%v, want mention of %q", name, err, substr)
+		}
+		if _, _, err := ReadBinaryShards(bytes.NewReader(data), 2); err == nil || !strings.Contains(err.Error(), substr) {
+			t.Errorf("%s: ReadBinaryShards err=%v, want mention of %q", name, err, substr)
+		}
+	}
+	// n bomb: 28 bytes demanding gigabytes of adjacency.
+	rejectBoth("unbacked n", hdr(1<<30, 0, 1<<16), "isolated-vertex allowance")
+	rejectBoth("n past the slack", hdr(1<<22, 1<<8, 1<<16), "isolated-vertex allowance")
+	// m bomb on a seekable input: the byte-size hint fires before the
+	// payload is touched.
+	rejectBoth("unbacked m", hdr(1<<20, 1<<28, 1<<16), "input holds")
+	// The same forged m through a non-seekable stream still errors (the
+	// chunked reader runs dry), just without the hint's message.
+	if _, err := ReadBinary(bufio.NewReader(bytes.NewReader(hdr(1<<20, 1<<28, 1<<16)))); err == nil {
+		t.Error("unbacked m accepted through a non-seekable stream")
+	}
+	// StatBinary shares the header clamps.
+	if _, err := StatBinary(bytes.NewReader(hdr(1<<30, 0, 1<<16))); err == nil {
+		t.Error("StatBinary accepted an unbacked n")
+	}
+	// At the boundary: the full slack of isolated vertices is legal and
+	// round-trips.
+	legal := hdr(maxBinFreeVertices, 0, 1<<16)
+	g, err := ReadBinary(bytes.NewReader(legal))
+	if err != nil || g.N() != maxBinFreeVertices || g.M() != 0 {
+		t.Fatalf("slack-sized empty graph rejected: %v", err)
+	}
+	// The writer refuses graphs the readers would: no written file is
+	// unloadable.
+	tooSparse := NewBuilder(maxBinFreeVertices + 1).Build()
+	var buf bytes.Buffer
+	if err := tooSparse.WriteBinary(&buf); err == nil || !strings.Contains(err.Error(), "isolated-vertex allowance") {
+		t.Errorf("WriteBinary err=%v, want isolated-vertex allowance rejection", err)
+	}
 }

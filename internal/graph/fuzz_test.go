@@ -39,6 +39,19 @@ func checkParsedGraph(t *testing.T, g *Graph) {
 	}
 }
 
+// hostileHeader forges a well-formed DCG1 header with the given declared
+// sizes and no payload - the allocation-bomb shape the readers' clamps
+// must reject before any size-proportional allocation.
+func hostileHeader(n, m uint64, shard uint32) []byte {
+	hdr := make([]byte, 28)
+	copy(hdr, "DCG1")
+	binary.LittleEndian.PutUint32(hdr[4:8], 1)
+	binary.LittleEndian.PutUint64(hdr[8:16], n)
+	binary.LittleEndian.PutUint64(hdr[16:24], m)
+	binary.LittleEndian.PutUint32(hdr[24:28], shard)
+	return hdr
+}
+
 func FuzzReadBinary(f *testing.F) {
 	rng := rand.New(rand.NewSource(99))
 	for _, g := range []*Graph{NewBuilder(0).Build(), Path(3), Gnp(60, 0.1, rng)} {
@@ -55,11 +68,14 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(shardy.Bytes())
 	f.Add([]byte("DCG1"))
 	f.Add([]byte{})
+	f.Add(hostileHeader(1<<30, 0, 1<<16))     // n bomb: no edges back the vertices
+	f.Add(hostileHeader(1<<20, 1<<28, 1<<16)) // m bomb: payload bytes absent
+	f.Add(hostileHeader(1<<22, 1<<8, 1<<16))  // n past the isolated-vertex slack
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// A 28-byte header may legally declare ~2^31 isolated vertices;
-		// materializing that adjacency is valid but slow, so keep the
-		// fuzzer exploring parse logic instead of allocators.
+		// The isolated-vertex clamp caps accepted n at 2m + 2^21, but a
+		// near-slack header still costs ~60 MB of adjacency per exec;
+		// keep the fuzzer exploring parse logic instead of allocators.
 		if len(data) >= 16 && binary.LittleEndian.Uint64(data[8:16]) > 1<<21 {
 			t.Skip("oversized declared n")
 		}
@@ -107,6 +123,9 @@ func FuzzReadBinaryShards(f *testing.F) {
 	f.Add(shardy.Bytes()[:len(shardy.Bytes())-3], 2) // truncated mid-record
 	f.Add([]byte("DCG1"), 2)
 	f.Add([]byte{}, 3)
+	f.Add(hostileHeader(1<<30, 0, 1<<16), 4)     // n bomb
+	f.Add(hostileHeader(1<<20, 1<<28, 1<<16), 4) // m bomb
+	f.Add(hostileHeader(1<<22, 1<<8, 1<<16), 4)  // n past the slack
 
 	f.Fuzz(func(t *testing.T, data []byte, shards int) {
 		if shards > MaxShards {

@@ -164,6 +164,12 @@ func parseBinHeader(hdr [28]byte) (n64, m64 uint64, shard uint32, err error) {
 	if max := n64 * (n64 - 1) / 2; m64 > max {
 		return 0, 0, 0, fmt.Errorf("graph: header declares %d edges but n=%d admits at most %d", m64, n64, max)
 	}
+	// Isolated vertices cost no payload bytes, so n is otherwise
+	// uncorroborated by the input: without this clamp a 28-byte header
+	// could demand O(n) adjacency allocations for n up to maxBinVertices.
+	if n64 > 2*m64+maxBinFreeVertices {
+		return 0, 0, 0, fmt.Errorf("graph: header declares %d vertices with only %d edges (isolated-vertex allowance is 2m+%d)", n64, m64, maxBinFreeVertices)
+	}
 	if shard < 1 || shard > maxBinShard {
 		return 0, 0, 0, fmt.Errorf("graph: shard size %d outside [1, %d]", shard, maxBinShard)
 	}
@@ -219,6 +225,18 @@ func ReadBinaryShards(rs io.ReadSeeker, shards int) (*Graph, Sharding, error) {
 		sh = AutoSharding(n)
 	} else if sh, err = NewSharding(n, shards); err != nil {
 		return nil, Sharding{}, err
+	}
+	// The input is a seeker by contract, so a byte-size hint is always
+	// available here: reject a forged edge count before the O(n) degree
+	// allocation below (parseBinHeader's isolated-vertex clamp already
+	// ties n to m, so this bounds both by the input size).
+	if end, serr := rs.Seek(0, io.SeekEnd); serr == nil {
+		if _, serr = rs.Seek(start+28, io.SeekStart); serr != nil {
+			return nil, Sharding{}, fmt.Errorf("graph: rewinding after the size probe: %w", serr)
+		}
+		if need := binMinPayload(m64, shardSize); end-start-28 < need {
+			return nil, Sharding{}, fmt.Errorf("graph: header declares %d edges needing %d payload bytes, input holds %d", m, need, end-start-28)
+		}
 	}
 
 	// Pass 1: stream the edge payload, validate every record, count

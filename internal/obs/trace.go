@@ -70,46 +70,54 @@ func CreateTrace(path string) (*TraceWriter, error) {
 	return tw, nil
 }
 
-// writeLine encodes one record under the mutex, remembering the first
-// error (the probe's flusher has no error path, so failures surface at
-// Close).
-func (t *TraceWriter) writeLine(v any) {
+// writeLine encodes one record under the mutex, remembering (and
+// returning) the first error; once failed the writer stays failed.
+func (t *TraceWriter) writeLine(v any) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
-		return
+		return t.err
 	}
 	b, err := json.Marshal(v)
 	if err != nil {
 		t.err = err
-		return
+		return t.err
 	}
 	if _, err := t.bw.Write(b); err != nil {
 		t.err = err
-		return
+		return t.err
 	}
 	t.err = t.bw.WriteByte('\n')
+	return t.err
 }
 
 // FlushRounds implements dist.ProbeSink. The slice is reused by the
-// probe after return; records are encoded before returning.
-func (t *TraceWriter) FlushRounds(recs []dist.RoundRecord) {
+// probe after return; records are encoded before returning. The first
+// write error is returned (the probe then stops flushing and surfaces it
+// from its own Close) and sticks for Close here too.
+func (t *TraceWriter) FlushRounds(recs []dist.RoundRecord) error {
 	for _, r := range recs {
-		t.writeLine(roundLine{T: "round", RoundRecord: r})
+		if err := t.writeLine(roundLine{T: "round", RoundRecord: r}); err != nil {
+			return err
+		}
 	}
 	t.mu.Lock()
 	t.rounds += int64(len(recs))
 	t.mu.Unlock()
+	return nil
 }
 
 // FlushRuns implements dist.ProbeSink.
-func (t *TraceWriter) FlushRuns(recs []dist.RunRecord) {
+func (t *TraceWriter) FlushRuns(recs []dist.RunRecord) error {
 	for _, r := range recs {
-		t.writeLine(runLine{T: "run", RunRecord: r})
+		if err := t.writeLine(runLine{T: "run", RunRecord: r}); err != nil {
+			return err
+		}
 	}
 	t.mu.Lock()
 	t.runs += int64(len(recs))
 	t.mu.Unlock()
+	return nil
 }
 
 // WriteEvalStats appends a field-evaluation snapshot line. Call it after
